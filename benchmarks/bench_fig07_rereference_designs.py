@@ -1,0 +1,35 @@
+"""Fig. 7: the inter+intra Rereference Matrix closes the gap to T-OPT.
+
+Paper series: LLC miss reduction over DRRIP for P-OPT-INTER-ONLY,
+P-OPT-INTER+INTRA, and the zero-overhead T-OPT, on PageRank. Both P-OPT
+designs pay their reserved LLC ways; INTER+INTRA lands close to T-OPT.
+"""
+
+import statistics
+
+from common import get_graphs, get_scale, report, run_once
+
+from repro.sim.experiments import fig07_rereference_designs
+
+
+def bench_fig07_rereference_designs(benchmark):
+    rows = run_once(
+        benchmark,
+        fig07_rereference_designs,
+        scale=get_scale(),
+        graphs=get_graphs(),
+    )
+    report(
+        "fig07",
+        "Rereference Matrix designs: miss reduction vs DRRIP",
+        rows,
+        notes="Paper shape: INTER+INTRA ~= T-OPT > INTER-ONLY > DRRIP.",
+    )
+    mean = {
+        key: statistics.mean(row[key] for row in rows)
+        for key in ("P-OPT-INTER-ONLY", "P-OPT-INTER+INTRA", "T-OPT")
+    }
+    assert mean["P-OPT-INTER+INTRA"] > mean["P-OPT-INTER-ONLY"]
+    assert mean["T-OPT"] >= mean["P-OPT-INTER+INTRA"] - 0.02
+    # The inter+intra design must recover most of T-OPT's benefit.
+    assert mean["P-OPT-INTER+INTRA"] > 0.5 * mean["T-OPT"]

@@ -1,0 +1,48 @@
+"""Fig. 10 — the headline result: P-OPT's speedups and miss reductions.
+
+Paper series, per (application, graph): speedup over LRU for DRRIP,
+P-OPT, T-OPT, and LLC miss reduction. Paper means: P-OPT +22% speedup and
+-24% misses vs DRRIP (+33%/-35% vs LRU), within ~12% of T-OPT; the gain
+is smallest on KRON (hub vertices hit by chance under any policy).
+"""
+
+from common import get_graphs, get_scale, report, run_once
+
+from repro.sim.experiments import fig10_main_result, geomean
+
+
+def bench_fig10_main_result(benchmark):
+    rows = run_once(
+        benchmark,
+        fig10_main_result,
+        scale=get_scale(),
+        graphs=get_graphs(),
+    )
+    popt_speedup = geomean(
+        [row["P-OPT_speedup_vs_DRRIP"] for row in rows]
+    )
+    topt_speedup = geomean(
+        [row["T-OPT_speedup_vs_DRRIP"] for row in rows]
+    )
+    popt_vs_lru = geomean([row["P-OPT_speedup_vs_LRU"] for row in rows])
+    missred = [row["P-OPT_missred_vs_DRRIP"] for row in rows]
+    mean_missred = sum(missred) / len(missred)
+    report(
+        "fig10",
+        "Main result: speedups and LLC miss reductions",
+        rows,
+        notes=(
+            f"Geomean P-OPT speedup vs DRRIP: {popt_speedup:.3f} "
+            f"(paper ~1.22); vs LRU: {popt_vs_lru:.3f} (paper ~1.33).\n"
+            f"Mean P-OPT miss reduction vs DRRIP: {mean_missred:.1%} "
+            f"(paper ~24%). T-OPT geomean speedup vs DRRIP: "
+            f"{topt_speedup:.3f} (the ideal)."
+        ),
+    )
+    # Core claims, as shape: P-OPT wins on average, stays near T-OPT.
+    assert popt_speedup > 1.05
+    assert popt_vs_lru > popt_speedup * 0.9
+    assert mean_missred > 0.10
+    assert popt_speedup > topt_speedup * 0.80
+    # P-OPT never catastrophically regresses on any (app, graph).
+    assert min(row["P-OPT_speedup_vs_DRRIP"] for row in rows) > 0.85

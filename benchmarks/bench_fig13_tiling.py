@@ -1,0 +1,46 @@
+"""Fig. 13: P-OPT and CSR-segmenting are mutually enabling.
+
+Paper series: LLC misses (normalized to untiled DRRIP) as tile count
+grows, for DRRIP and P-OPT on two large graphs. P-OPT reaches a target
+miss level with ~5x fewer tiles; fewer tiles = less preprocessing.
+"""
+
+from common import get_scale, report, run_once
+
+from repro.sim.experiments import fig13_tiling
+
+
+def bench_fig13_tiling(benchmark):
+    rows = run_once(
+        benchmark, fig13_tiling,
+        scale=get_scale(),
+        graphs=("URAND64", "KRON"),
+        tile_counts=(1, 2, 4, 8),
+    )
+    report(
+        "fig13",
+        "CSR-segmenting x replacement policy (misses vs untiled DRRIP)",
+        rows,
+        notes="Paper shape: both policies improve with tiles; P-OPT needs "
+        "far fewer tiles to reach a given miss level.",
+    )
+    by_key = {(row["graph"], row["tiles"]): row for row in rows}
+    for graph in ("URAND64", "KRON"):
+        untiled = by_key[(graph, 1)]
+        # Tiling reduces misses under both policies at its sweet spot.
+        # (Each extra tile re-scans the offsets array, so past the sweet
+        # spot overhead wins — on our scaled graphs that happens sooner
+        # than on the paper's 33 M-vertex inputs.)
+        best_drrip = min(
+            by_key[(graph, t)]["DRRIP_norm_misses"] for t in (2, 4, 8)
+        )
+        best_popt = min(
+            by_key[(graph, t)]["P-OPT_norm_misses"] for t in (2, 4, 8)
+        )
+        assert best_drrip < untiled["DRRIP_norm_misses"]
+        assert best_popt < untiled["P-OPT_norm_misses"]
+        # The paper's fewer-tiles-for-same-locality claim: P-OPT at 2
+        # tiles already matches DRRIP's best tiling.
+        assert (
+            by_key[(graph, 2)]["P-OPT_norm_misses"] <= best_drrip * 1.05
+        )

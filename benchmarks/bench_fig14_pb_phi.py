@@ -1,0 +1,43 @@
+"""Fig. 14: P-OPT is complementary to Propagation Blocking and PHI.
+
+Paper series: DRAM traffic of the PB binning phase, normalized to
+PB+DRRIP, for {PB, PHI} x {DRRIP, P-OPT}. PHI's in-cache aggregation
+wins on power-law graphs and improves with better replacement; on
+uniform/bounded-degree inputs PHI finds little coalescing.
+"""
+
+from common import get_graphs, get_scale, report, run_once
+
+from repro.sim.experiments import fig14_pb_phi
+
+
+def bench_fig14_pb_phi(benchmark):
+    rows = run_once(
+        benchmark, fig14_pb_phi,
+        scale=get_scale(), graphs=get_graphs(),
+    )
+    report(
+        "fig14",
+        "PB / PHI binning-phase traffic (normalized to PB+DRRIP)",
+        rows,
+        notes="Paper shape: PHI < PB everywhere it can coalesce; "
+        "PHI+P-OPT <= PHI+DRRIP; PHI's edge shrinks on non-power-law "
+        "graphs.",
+    )
+    for row in rows:
+        # PB's binning phase is replacement-insensitive by design.
+        assert abs(row["PB+P-OPT"] - row["PB+DRRIP"]) < 0.25, row
+        # PHI's aggregation beats raw PB...
+        assert row["PHI+DRRIP"] < row["PB+DRRIP"], row
+        # ...and P-OPT never hurts PHI.
+        assert row["PHI+P-OPT"] <= row["PHI+DRRIP"] * 1.05, row
+    by_graph = {row["graph"]: row for row in rows}
+    if "DBP" in by_graph and "HBUBL" in by_graph:
+        # PHI's aggregation pays off more on the power-law graph than on
+        # the bounded-degree one (relative to PB).
+        dbp_gain = by_graph["DBP"]["PB+DRRIP"] - by_graph["DBP"]["PHI+DRRIP"]
+        hbubl_gain = (
+            by_graph["HBUBL"]["PB+DRRIP"]
+            - by_graph["HBUBL"]["PHI+DRRIP"]
+        )
+        assert dbp_gain >= hbubl_gain - 0.10

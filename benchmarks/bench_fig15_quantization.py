@@ -1,0 +1,42 @@
+"""Fig. 15: sensitivity to Rereference Matrix quantization (4/8/16 bits).
+
+Paper series: miss reduction vs DRRIP for P-OPT at each entry width
+(limit study: no capacity cost) against T-OPT, plus replacement tie
+rates (paper: 41% / 12% / 0% of replacements tie at 4b / 8b / 16b).
+"""
+
+import statistics
+
+from common import get_graphs, get_scale, report, run_once
+
+from repro.sim.experiments import fig15_quantization
+
+
+def bench_fig15_quantization(benchmark):
+    rows = run_once(
+        benchmark, fig15_quantization,
+        scale=get_scale(), graphs=get_graphs(),
+    )
+    mean_ties = {
+        bits: statistics.mean(row[f"{bits}b_tie_rate"] for row in rows)
+        for bits in (4, 8, 16)
+    }
+    report(
+        "fig15",
+        "Quantization sensitivity (limit study, no capacity cost)",
+        rows,
+        notes=(
+            "Mean tie rates: "
+            + ", ".join(f"{b}b={mean_ties[b]:.1%}" for b in (4, 8, 16))
+            + " (paper: 41%, 12%, 0%). Paper shape: 8b ~= 16b ~= T-OPT; "
+            "4b clearly worse."
+        ),
+    )
+    mean_red = {
+        bits: statistics.mean(row[f"{bits}b_missred"] for row in rows)
+        for bits in (4, 8, 16)
+    }
+    assert mean_red[8] > mean_red[4]
+    assert abs(mean_red[16] - mean_red[8]) < 0.08  # little gain past 8b
+    # Tie rates fall monotonically with precision.
+    assert mean_ties[4] > mean_ties[8] > mean_ties[16]

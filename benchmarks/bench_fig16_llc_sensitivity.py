@@ -1,0 +1,50 @@
+"""Fig. 16: P-OPT's advantage grows with LLC capacity and associativity.
+
+Paper series: PageRank miss reduction (P-OPT vs DRRIP) as the LLC
+capacity sweeps at fixed associativity, and as associativity sweeps at
+fixed capacity. Bigger LLC = the RM reservation amortizes; higher
+associativity = more candidates for the next-ref engine to choose among.
+"""
+
+import statistics
+
+from common import get_graphs, get_scale, report, run_once
+
+from repro.sim.experiments import fig16_llc_sensitivity
+
+
+def bench_fig16_llc_sensitivity(benchmark):
+    rows = run_once(
+        benchmark, fig16_llc_sensitivity,
+        scale=get_scale(), graphs=get_graphs(),
+        set_counts=(8, 16, 32, 64), way_counts=(8, 16, 32),
+    )
+    report(
+        "fig16",
+        "Sensitivity to LLC capacity and associativity",
+        rows,
+        notes="Paper shape: P-OPT's miss reduction over DRRIP grows with "
+        "LLC size and with associativity.",
+    )
+
+    def mean_at(sweep, key, value):
+        vals = [
+            row["P-OPT_missred"]
+            for row in rows
+            if row["sweep"] == sweep and row[key] == value
+        ]
+        return statistics.mean(vals) if vals else 0.0
+
+    capacity_points = sorted(
+        {row["llc_kib"] for row in rows if row["sweep"] == "capacity"}
+    )
+    small_cap = mean_at("capacity", "llc_kib", capacity_points[0])
+    large_cap = mean_at("capacity", "llc_kib", capacity_points[-1])
+    assert large_cap > small_cap - 0.03
+
+    way_points = sorted(
+        {row["ways"] for row in rows if row["sweep"] == "associativity"}
+    )
+    low_assoc = mean_at("associativity", "ways", way_points[0])
+    high_assoc = mean_at("associativity", "ways", way_points[-1])
+    assert high_assoc > low_assoc - 0.03

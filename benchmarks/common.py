@@ -1,0 +1,55 @@
+"""Shared plumbing for the benchmark harnesses.
+
+Each ``bench_figNN_*.py`` regenerates one figure or table of the paper:
+it runs the corresponding harness from :mod:`repro.sim.experiments` once
+under pytest-benchmark (wall-clock of the whole experiment), prints the
+rows the paper reports, and writes them to ``benchmarks/results/`` so
+EXPERIMENTS.md can cite a concrete run.
+
+Environment knobs:
+
+- ``REPRO_SCALE``  — graph/cache scale profile (default ``small``).
+- ``REPRO_GRAPHS`` — comma-separated subset of Table III graph names.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.graph.datasets import graph_names
+from repro.sim.tables import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def get_scale() -> str:
+    return os.environ.get("REPRO_SCALE", "small")
+
+
+def get_graphs() -> Sequence[str]:
+    raw = os.environ.get("REPRO_GRAPHS", "")
+    if not raw:
+        return tuple(graph_names())
+    return tuple(name.strip() for name in raw.split(",") if name.strip())
+
+
+def report(experiment_id: str, title: str,
+           rows: List[Dict[str, object]],
+           notes: str = "") -> None:
+    """Print the experiment's rows and persist them under results/."""
+    table = format_table(rows, f"{experiment_id}: {title} "
+                               f"[scale={get_scale()}]")
+    text = table + ("\n\n" + notes if notes else "") + "\n"
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        warmup_rounds=0,
+    )

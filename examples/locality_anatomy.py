@@ -1,0 +1,88 @@
+"""Why graph analytics thrashes caches — the paper's Section II, measured.
+
+Uses stack-distance analysis over a real PageRank trace to show:
+
+1. the LRU miss-rate curve: the irregular working set needs orders of
+   magnitude more capacity than any realistic LLC;
+2. per-access-site reuse profiles: the streaming sites (offsets,
+   neighbors, dstData) reuse at tiny distances while the single
+   ``srcData`` site's distances span the whole graph — one PC, wildly
+   mixed localities, which is exactly why SHiP-PC/Hawkeye/SDBP-style
+   PC-indexed prediction fails here (Section II-B);
+3. what P-OPT does about it, by simulating the same trace.
+
+Run:  python examples/locality_anatomy.py [graph] [scale]
+"""
+
+import sys
+
+from repro import apps, graph, sim
+from repro.cache import scaled_hierarchy
+from repro.memory.trace import AccessKind
+from repro.sim.analysis import (
+    miss_rate_curve,
+    per_site_reuse_stats,
+    reuse_distances,
+)
+from repro.sim.tables import format_table
+
+SITE_NAMES = {
+    AccessKind.OFFSETS: "offsets (stream)",
+    AccessKind.NEIGHBORS: "neighbors (stream)",
+    AccessKind.IRREG_DATA: "srcData (irregular)",
+    AccessKind.DENSE_DATA: "dstData (stream)",
+    AccessKind.FRONTIER: "frontier (irregular)",
+}
+
+
+def bar(fraction: float, width: int = 40) -> str:
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "URAND"
+    scale = sys.argv[2] if len(sys.argv) > 2 else "small"
+    g = graph.load(name, scale=scale)
+    hierarchy = scaled_hierarchy(scale)
+    prepared = sim.prepare_run(apps.PageRank(), g)
+    llc_lines = hierarchy.llc.num_sets * hierarchy.llc.num_ways
+
+    print(f"{name}: {g.num_vertices} vertices, {g.num_edges} edges; "
+          f"LLC holds {llc_lines} lines\n")
+
+    distances = reuse_distances(prepared.trace)
+    capacities = [llc_lines // 4, llc_lines, 4 * llc_lines,
+                  16 * llc_lines, 64 * llc_lines]
+    curve = miss_rate_curve(
+        prepared.trace, capacities, distances=distances
+    )
+    print("LRU miss-rate curve (fully associative):")
+    for capacity in capacities:
+        marker = "  <- this LLC" if capacity == llc_lines else ""
+        print(f"  {capacity:7d} lines |{bar(curve[capacity])}| "
+              f"{curve[capacity]:.1%}{marker}")
+
+    print("\nPer-access-site reuse profiles:")
+    rows = []
+    for profile in per_site_reuse_stats(prepared.trace):
+        row = profile.as_row()
+        row["site"] = SITE_NAMES.get(profile.pc, str(profile.pc))
+        rows.append(row)
+    print(format_table(rows))
+    print(
+        "\nReading: the irregular site's reuse distances dwarf the LLC "
+        "while the streams' fit in L1 — and a PC-indexed predictor must "
+        "assign the irregular site ONE prediction for all of it."
+    )
+
+    print("\nWhat exact next-reference information buys on this trace:")
+    for policy in ("LRU", "DRRIP", "P-OPT", "T-OPT"):
+        result = sim.simulate_prepared(prepared, policy, hierarchy)
+        print(f"  {policy:6s} LLC miss rate "
+              f"|{bar(result.llc_miss_rate)}| "
+              f"{result.llc_miss_rate:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Why state-of-the-art replacement fails on graphs (paper Figs. 2 and 4).
+
+Replays one PageRank iteration under LRU, DRRIP, SHiP-PC, SHiP-Mem,
+Hawkeye, the transpose-driven T-OPT, and true offline Belady OPT, across
+the paper's five graph classes. The point of the exercise (Section II-B):
+heuristic policies cluster together, while exact next-reference
+information (T-OPT, which only needs the transpose the framework already
+stores) cuts misses by ~1.7x.
+
+Run:  python examples/policy_comparison.py [scale] [graph ...]
+"""
+
+import sys
+
+from repro import apps, graph, sim
+from repro.cache import scaled_hierarchy
+from repro.sim.tables import format_table
+
+POLICIES = ("LRU", "DRRIP", "SHiP-PC", "SHiP-Mem", "Hawkeye", "T-OPT", "OPT")
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "small"
+    names = sys.argv[2:] or graph.graph_names()
+    hierarchy = scaled_hierarchy(scale)
+
+    rows = []
+    for name in names:
+        g = graph.load(name, scale=scale)
+        prepared = sim.prepare_run(apps.PageRank(), g)
+        row = {"graph": name}
+        for policy in POLICIES:
+            result = sim.simulate_prepared(prepared, policy, hierarchy)
+            row[policy] = f"{result.llc_miss_rate:.3f}"
+        rows.append(row)
+        print(f"done: {name}")
+
+    print()
+    print(format_table(rows, "PageRank LLC miss rate by policy "
+                             "(Figs. 2 and 4)"))
+    print(
+        "\nReading: LRU..Hawkeye cluster in a narrow band; T-OPT (using "
+        "the graph transpose) approaches the offline-optimal OPT."
+    )
+
+
+if __name__ == "__main__":
+    main()

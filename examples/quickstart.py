@@ -1,0 +1,60 @@
+"""Quickstart: P-OPT vs. standard replacement on PageRank.
+
+Loads a scaled-down stand-in of the paper's URAND graph, runs one pull
+PageRank iteration through the simulated cache hierarchy, and compares
+LRU, DRRIP, P-OPT, and the idealized T-OPT upper bound — the essence of
+the paper's Fig. 10.
+
+Run:  python examples/quickstart.py [scale]
+"""
+
+import sys
+
+from repro import apps, graph, sim
+from repro.cache import scaled_hierarchy
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "small"
+    g = graph.load("URAND", scale=scale)
+    print(f"Graph: URAND stand-in, {g.num_vertices} vertices, "
+          f"{g.num_edges} edges")
+
+    hierarchy = scaled_hierarchy(scale)
+    print(f"LLC: {hierarchy.llc.capacity_bytes // 1024} KiB, "
+          f"{hierarchy.llc.num_ways}-way\n")
+
+    # Run the kernel once; the same trace replays under every policy.
+    prepared = sim.prepare_run(apps.PageRank(), g)
+    print(f"PageRank trace: {prepared.num_accesses} memory accesses "
+          f"({len(prepared.irregular_streams)} irregular stream)\n")
+
+    results = {}
+    for policy in ("LRU", "DRRIP", "P-OPT", "T-OPT"):
+        results[policy] = sim.simulate_prepared(
+            prepared, policy, hierarchy
+        )
+
+    lru = results["LRU"]
+    drrip = results["DRRIP"]
+    print(f"{'policy':8s} {'miss rate':>10s} {'LLC MPKI':>10s} "
+          f"{'speedup/LRU':>12s} {'speedup/DRRIP':>14s}")
+    for name, result in results.items():
+        print(
+            f"{name:8s} {result.llc_miss_rate:10.3f} "
+            f"{result.llc_mpki:10.2f} {result.speedup_over(lru):12.3f} "
+            f"{result.speedup_over(drrip):14.3f}"
+        )
+
+    popt = results["P-OPT"]
+    print(
+        f"\nP-OPT reserved {popt.reserved_llc_ways} of "
+        f"{hierarchy.llc.num_ways} LLC ways for Rereference Matrix "
+        f"columns and cut LLC misses by "
+        f"{popt.miss_reduction_over(drrip):.1%} vs DRRIP "
+        f"(paper: ~24% on average)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` requires `wheel` for PEP-517 editable installs; this
+offline environment lacks it, so `python setup.py develop` (or this shim
+via pip's legacy path) installs the package instead. Configuration lives
+in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

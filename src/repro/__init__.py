@@ -1,0 +1,54 @@
+"""repro: reproduction of "P-OPT: Practical Optimal Cache Replacement for
+Graph Analytics" (Balaji, Crago, Jaleel, Lucia — HPCA 2021).
+
+Quickstart::
+
+    from repro import graph, apps, sim
+    from repro.cache import scaled_hierarchy
+
+    g = graph.load("URAND", scale="small")
+    prepared = sim.prepare_run(apps.PageRank(), g)
+    hierarchy = scaled_hierarchy("small")
+    drrip = sim.simulate_prepared(prepared, "DRRIP", hierarchy)
+    popt = sim.simulate_prepared(prepared, "P-OPT", hierarchy)
+    print(popt.miss_reduction_over(drrip), popt.speedup_over(drrip))
+
+Subpackages:
+
+- :mod:`repro.graph`    -- CSR/CSC graphs, generators, reordering, tiling
+- :mod:`repro.memory`   -- address-space layout and access traces
+- :mod:`repro.cache`    -- set-associative cache hierarchy simulator
+- :mod:`repro.policies` -- baseline replacement policies (LRU..Hawkeye, OPT)
+- :mod:`repro.popt`     -- the paper's contribution: T-OPT and P-OPT
+- :mod:`repro.apps`     -- graph kernels that emit their memory access streams
+- :mod:`repro.sim`      -- simulation driver, timing model, experiments
+"""
+
+from . import apps, cache, graph, memory, policies, popt, sim
+from .errors import (
+    CacheConfigError,
+    GraphFormatError,
+    LayoutError,
+    PolicyError,
+    ReproError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "graph",
+    "memory",
+    "cache",
+    "policies",
+    "popt",
+    "apps",
+    "sim",
+    "ReproError",
+    "GraphFormatError",
+    "LayoutError",
+    "CacheConfigError",
+    "PolicyError",
+    "SimulationError",
+    "__version__",
+]

@@ -1,0 +1,238 @@
+"""Application framework: graph kernels that emit their access streams.
+
+Each app is a real kernel (it computes correct algorithm results, which
+tests verify) that *also* constructs the memory access trace its
+edge-processing loops would issue: streaming accesses to the CSR/CSC
+offsets and neighbor arrays, per-outer-vertex dense accesses, and the
+irregular per-neighbor accesses (``srcData``/``dstData``/frontier) whose
+locality the paper is about (Algorithm 1, Section II-A).
+
+Trace construction is vectorized: the per-vertex block layout
+``[OA] [NA (frontier?) (irreg?)]* [dense]`` is computed with prefix sums,
+giving O(edges) numpy work instead of a Python loop per access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..graph.csr import CSRGraph
+from ..memory.layout import AddressSpace, ArraySpan
+from ..memory.trace import AccessKind, MemoryTrace
+from ..popt.topt import IrregularStream
+
+__all__ = [
+    "AppInfo",
+    "PerEdgeAccess",
+    "PreparedRun",
+    "GraphApp",
+    "traversal_trace",
+]
+
+
+@dataclass(frozen=True)
+class AppInfo:
+    """Table II metadata for one application."""
+
+    name: str
+    execution_style: str        # "pull", "push", or "pull-mostly"
+    irreg_elem_bits: int        # srcData/dstData element size
+    uses_frontier: bool
+    transpose_kind: str         # which direction feeds next-refs (CSR/CSC)
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "app": self.name,
+            "style": self.execution_style,
+            "irregData": f"{self.irreg_elem_bits}b"
+            + (" & 1bit" if self.uses_frontier else ""),
+            "transpose": self.transpose_kind,
+            "frontier": "Y" if self.uses_frontier else "N",
+        }
+
+
+@dataclass(frozen=True)
+class PerEdgeAccess:
+    """One irregular access made for every (active) edge.
+
+    ``mask``, when given, is a boolean per-*neighbor-vertex* array; the
+    access is only emitted for edges whose neighbor is active (how
+    frontier-gated loads behave).
+    """
+
+    span: ArraySpan
+    pc: int
+    write: bool = False
+    mask: Optional[np.ndarray] = None
+
+
+@dataclass
+class PreparedRun:
+    """Everything the simulation driver needs for one kernel run."""
+
+    app_name: str
+    layout: AddressSpace
+    trace: MemoryTrace
+    irregular_streams: List[IrregularStream]
+    reference_result: object = None
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_accesses(self) -> int:
+        return len(self.trace)
+
+
+class GraphApp:
+    """Base class for the five Table II applications (plus PB/PHI)."""
+
+    info: AppInfo
+
+    def prepare(self, graph: CSRGraph, **params) -> PreparedRun:
+        """Run the kernel and materialize its trace for simulation."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return self.info.name
+
+
+def _segmented_edge_ids(
+    topology: CSRGraph, order: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Edge indices grouped by outer vertex in iteration order.
+
+    Returns (edge_ids, outer_per_edge): ``edge_ids`` indexes
+    ``topology.neighbors`` and is ordered by the traversal.
+    """
+    degrees = topology.degrees()
+    ordered_degrees = degrees[order]
+    total = int(ordered_degrees.sum())
+    if total == 0:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
+    seg_starts = topology.offsets[:-1][order]
+    block_starts = np.zeros(len(order), dtype=np.int64)
+    np.cumsum(ordered_degrees[:-1], out=block_starts[1:])
+    position = np.arange(total, dtype=np.int64) - np.repeat(
+        block_starts, ordered_degrees
+    )
+    edge_ids = np.repeat(seg_starts, ordered_degrees) + position
+    outer_per_edge = np.repeat(order.astype(np.int64), ordered_degrees)
+    return edge_ids, outer_per_edge
+
+
+def traversal_trace(
+    topology: CSRGraph,
+    oa_span: ArraySpan,
+    na_span: ArraySpan,
+    per_edge: Sequence[PerEdgeAccess],
+    dense_span: Optional[ArraySpan] = None,
+    dense_pc: int = AccessKind.DENSE_DATA,
+    dense_write: bool = True,
+    order: Optional[np.ndarray] = None,
+) -> MemoryTrace:
+    """Build the access trace of one edge-centric traversal.
+
+    ``topology`` is the structure being scanned: the CSC for a pull
+    traversal (neighbors are *sources*) or the CSR for a push traversal
+    (neighbors are *destinations*). Per outer vertex the trace contains an
+    offsets-array read, then per edge a neighbor-array read followed by the
+    ``per_edge`` accesses in order (indexed by the neighbor's vertex ID),
+    then one dense access indexed by the outer vertex.
+
+    ``order`` overrides the outer-loop iteration order (HATS-BDFS), and
+    may visit a *subset* of vertices (sparse-frontier rounds enumerate
+    only active vertices); each entry must appear at most once.
+    """
+    n = topology.num_vertices
+    if order is None:
+        order = np.arange(n, dtype=np.int64)
+    else:
+        order = np.asarray(order, dtype=np.int64)
+        if len(order) and (order.min() < 0 or order.max() >= n):
+            raise SimulationError("order contains out-of-range vertices")
+        if len(np.unique(order)) != len(order):
+            raise SimulationError("order visits a vertex twice")
+
+    edge_ids, outer_per_edge = _segmented_edge_ids(topology, order)
+    neighbors = topology.neighbors[edge_ids].astype(np.int64)
+    num_edges = len(edge_ids)
+
+    # Which per-edge accesses fire for each edge.
+    include: List[np.ndarray] = []
+    for access in per_edge:
+        if access.mask is None:
+            include.append(np.ones(num_edges, dtype=bool))
+        else:
+            mask = np.asarray(access.mask, dtype=bool)
+            include.append(mask[neighbors])
+
+    edge_sizes = np.ones(num_edges, dtype=np.int64)
+    for flags in include:
+        edge_sizes += flags
+
+    degrees = topology.degrees()[order]
+    has_dense = dense_span is not None
+    # Per-vertex block length: OA + its edges' slots + optional dense.
+    if num_edges:
+        boundaries = np.zeros(len(order), dtype=np.int64)
+        np.cumsum(degrees[:-1], out=boundaries[1:])
+        vertex_of_edge = np.repeat(
+            np.arange(len(order), dtype=np.int64), degrees
+        )
+        per_vertex_edge_len = np.bincount(
+            vertex_of_edge, weights=edge_sizes, minlength=len(order)
+        ).astype(np.int64)
+    else:
+        per_vertex_edge_len = np.zeros(len(order), dtype=np.int64)
+    block_len = 1 + per_vertex_edge_len + (1 if has_dense else 0)
+    block_starts = np.zeros(len(order), dtype=np.int64)
+    np.cumsum(block_len[:-1], out=block_starts[1:])
+    total = int(block_starts[-1] + block_len[-1]) if len(order) else 0
+
+    addresses = np.empty(total, dtype=np.int64)
+    pcs = np.empty(total, dtype=np.uint8)
+    writes = np.zeros(total, dtype=bool)
+    vertices = np.repeat(order, block_len).astype(np.int32)
+
+    # Offsets-array read at each block start.
+    addresses[block_starts] = oa_span.addr_of(order)
+    pcs[block_starts] = AccessKind.OFFSETS
+
+    if num_edges:
+        # Edge slot base positions: exclusive running sum of edge sizes,
+        # rebased to each vertex's block.
+        edge_cumsum = np.zeros(num_edges, dtype=np.int64)
+        np.cumsum(edge_sizes[:-1], out=edge_cumsum[1:])
+        # boundaries[v] < num_edges whenever degrees[v] > 0 (and the
+        # repeat count is 0 otherwise), so indexing is safe after a clamp.
+        safe_boundaries = np.minimum(boundaries, num_edges - 1)
+        rebase = edge_cumsum - np.repeat(
+            edge_cumsum[safe_boundaries], degrees
+        )
+        edge_base = block_starts[vertex_of_edge] + 1 + rebase
+
+        addresses[edge_base] = na_span.addr_of(edge_ids)
+        pcs[edge_base] = AccessKind.NEIGHBORS
+
+        slot_offset = np.ones(num_edges, dtype=np.int64)
+        for access, flags in zip(per_edge, include):
+            positions = edge_base[flags] + slot_offset[flags]
+            addresses[positions] = access.span.addr_of(neighbors[flags])
+            pcs[positions] = access.pc
+            if access.write:
+                writes[positions] = True
+            slot_offset += flags
+
+    if has_dense:
+        dense_positions = block_starts + block_len - 1
+        addresses[dense_positions] = dense_span.addr_of(order)
+        pcs[dense_positions] = dense_pc
+        writes[dense_positions] = dense_write
+
+    return MemoryTrace(
+        addresses=addresses, pcs=pcs, writes=writes, vertices=vertices
+    )

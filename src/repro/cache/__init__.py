@@ -1,0 +1,44 @@
+"""Cache substrate: configs, set-associative caches, hierarchy, NUCA."""
+
+from .banked import BankedLLC
+from .cache import AccessContext, SetAssociativeCache
+from .config import (
+    CORE_FREQUENCY_GHZ,
+    DRAM_LATENCY_NS,
+    CacheConfig,
+    HierarchyConfig,
+    paper_table1,
+    scaled_hierarchy,
+)
+from .hierarchy import (
+    LEVEL_DRAM,
+    LEVEL_L1,
+    LEVEL_L2,
+    LEVEL_LLC,
+    CacheHierarchy,
+)
+from .multicore import MultiCoreHierarchy, replay_multicore
+from .nuca import BankMapper
+from .stats import MPKI_INSTRUCTIONS_PER_ACCESS, CacheStats
+
+__all__ = [
+    "AccessContext",
+    "SetAssociativeCache",
+    "CacheConfig",
+    "HierarchyConfig",
+    "paper_table1",
+    "scaled_hierarchy",
+    "DRAM_LATENCY_NS",
+    "CORE_FREQUENCY_GHZ",
+    "CacheHierarchy",
+    "LEVEL_L1",
+    "LEVEL_L2",
+    "LEVEL_LLC",
+    "LEVEL_DRAM",
+    "BankMapper",
+    "BankedLLC",
+    "MultiCoreHierarchy",
+    "replay_multicore",
+    "CacheStats",
+    "MPKI_INSTRUCTIONS_PER_ACCESS",
+]

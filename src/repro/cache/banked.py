@@ -1,0 +1,156 @@
+"""Banked S-NUCA last-level cache (Section V-E, dynamic model).
+
+The LLC is physically distributed over ``num_banks`` banks; an address's
+bank is fixed by the mapping policy and each bank replaces independently
+(per-bank next-ref engines and buffers in P-OPT's case — each bank gets
+its own policy instance).
+
+Two mapping policies coexist, as in the paper:
+
+- everything defaults to line striping (``bank = line % numBanks``);
+- with ``modified_irreg_mapping=True``, lines inside registered irregular
+  spans interleave in 64-line blocks (``bank = (rel_line // 64) %
+  numBanks``), the Reactive-NUCA-backed policy that makes every
+  Rereference Matrix lookup bank-local.
+
+The model counts, per replacement of an irregular line, whether the RM
+entry needed by the next-ref engine lives in the evicting bank — the
+quantity the modified mapping exists to drive to 100%.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import CacheConfigError
+from ..memory.layout import ArraySpan
+from .cache import AccessContext, SetAssociativeCache
+from .config import CacheConfig
+from .nuca import BankMapper
+from .stats import CacheStats
+
+__all__ = ["BankedLLC"]
+
+
+class BankedLLC:
+    """An S-NUCA LLC built from independent per-bank slices."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        num_banks: int,
+        policy_factory: Callable[[int], object],
+        irreg_spans: Sequence[ArraySpan] = (),
+        modified_irreg_mapping: bool = True,
+        line_size: int = 64,
+    ) -> None:
+        if config.num_sets % num_banks:
+            raise CacheConfigError(
+                "num_sets must divide evenly across banks"
+            )
+        self.config = config
+        self.num_banks = num_banks
+        self.mapper = BankMapper(num_banks=num_banks, line_size=line_size)
+        bank_config = CacheConfig(
+            name=f"{config.name}-bank",
+            num_sets=config.num_sets // num_banks,
+            num_ways=config.num_ways,
+            line_size=config.line_size,
+            load_to_use_cycles=config.load_to_use_cycles,
+        )
+        self.banks: List[SetAssociativeCache] = [
+            SetAssociativeCache(bank_config, policy_factory(bank))
+            for bank in range(num_banks)
+        ]
+        self.modified_irreg_mapping = modified_irreg_mapping
+        self._irreg_ranges: List[Tuple[int, int]] = [
+            (span.base // line_size,
+             span.base // line_size + span.num_lines)
+            for span in irreg_spans
+        ]
+        self.block_lines = self.mapper.block_lines
+        self.local_rm_lookups = 0
+        self.remote_rm_lookups = 0
+
+    # ------------------------------------------------------------------
+
+    def _irreg_base(self, line_addr: int) -> Optional[int]:
+        for begin, end in self._irreg_ranges:
+            if begin <= line_addr < end:
+                return begin
+        return None
+
+    def route(self, line_addr: int) -> Tuple[int, int]:
+        """(bank, bank-local line index) for a line address."""
+        base = self._irreg_base(line_addr)
+        if base is not None and self.modified_irreg_mapping:
+            rel = line_addr - base
+            block = rel // self.block_lines
+            bank = block % self.num_banks
+            local = (
+                (block // self.num_banks) * self.block_lines
+                + rel % self.block_lines
+            )
+            return bank, local
+        return line_addr % self.num_banks, line_addr // self.num_banks
+
+    def access(self, line_addr: int, ctx: AccessContext) -> bool:
+        """Look up a line in its bank; fill on miss. Returns hit."""
+        bank, local = self.route(line_addr)
+        slice_ = self.banks[bank]
+        # Index the bank's sets by the bank-local line, but tag with the
+        # global line address so policies (base/bound checks, RM lookups)
+        # see real addresses.
+        set_idx = slice_.config.set_index(local)
+        hit = self._access_at(slice_, set_idx, line_addr, ctx)
+        if not hit:
+            base = self._irreg_base(line_addr)
+            if base is not None:
+                # The next-ref engine in `bank` reads this line's RM
+                # entry: bank-local only if the RM line maps here.
+                rm_bank = self.mapper.rm_bank(line_addr - base)
+                if rm_bank == bank:
+                    self.local_rm_lookups += 1
+                else:
+                    self.remote_rm_lookups += 1
+        return hit
+
+    @staticmethod
+    def _access_at(
+        cache: SetAssociativeCache,
+        set_idx: int,
+        line_addr: int,
+        ctx: AccessContext,
+    ) -> bool:
+        set_tags = cache.tags[set_idx]
+        try:
+            way = set_tags.index(line_addr)
+        except ValueError:
+            way = -1
+        if way >= 0:
+            cache.stats.record_hit()
+            if ctx.write:
+                cache.dirty[set_idx][way] = True
+            cache.policy.on_hit(set_idx, way, ctx)
+            return True
+        cache.stats.record_miss()
+        cache._fill(set_idx, line_addr, ctx)
+        return False
+
+    # ------------------------------------------------------------------
+
+    def aggregate_stats(self) -> CacheStats:
+        """Summed stats across banks."""
+        total = CacheStats(self.config.name)
+        for bank in self.banks:
+            total = total.merged_with(bank.stats)
+        return total
+
+    def bank_load(self) -> List[int]:
+        """Per-bank access counts (load-balance diagnostics)."""
+        return [bank.stats.accesses for bank in self.banks]
+
+    def rm_locality(self) -> float:
+        """Fraction of next-ref engine RM lookups that were bank-local."""
+        total = self.local_rm_lookups + self.remote_rm_lookups
+        return self.local_rm_lookups / total if total else 1.0

@@ -1,0 +1,159 @@
+"""Cache geometry and hierarchy configuration (paper Table I)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..errors import CacheConfigError
+
+__all__ = [
+    "CacheConfig",
+    "HierarchyConfig",
+    "paper_table1",
+    "scaled_hierarchy",
+    "DRAM_LATENCY_NS",
+    "CORE_FREQUENCY_GHZ",
+]
+
+#: Table I: DRAM base access latency and core clock.
+DRAM_LATENCY_NS = 173.0
+CORE_FREQUENCY_GHZ = 2.266
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and access latency of one cache level."""
+
+    name: str
+    num_sets: int
+    num_ways: int
+    line_size: int = 64
+    load_to_use_cycles: int = 3
+
+    def __post_init__(self) -> None:
+        # Non-power-of-two set counts are allowed (the paper's 24 MiB LLC
+        # has 24576 sets; its footnote 3 gives the modulo indexing).
+        if self.num_sets <= 0:
+            raise CacheConfigError(
+                f"{self.name}: num_sets must be positive"
+            )
+        if self.num_ways <= 0:
+            raise CacheConfigError(f"{self.name}: num_ways must be positive")
+        if self.line_size <= 0 or self.line_size & (self.line_size - 1):
+            raise CacheConfigError(
+                f"{self.name}: line_size must be a positive power of two"
+            )
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total data capacity."""
+        return self.num_sets * self.num_ways * self.line_size
+
+    @property
+    def way_bytes(self) -> int:
+        """Bytes held by a single way across all sets (one P-OPT
+        reservation unit)."""
+        return self.num_sets * self.line_size
+
+    def with_ways(self, num_ways: int) -> "CacheConfig":
+        """Same geometry with a different associativity (way partitioning)."""
+        return replace(self, num_ways=num_ways)
+
+    @property
+    def sets_are_power_of_two(self) -> bool:
+        return self.num_sets & (self.num_sets - 1) == 0
+
+    def set_index(self, line_addr: int) -> int:
+        """Set index for a line-granular address (mask when possible,
+        modulo otherwise — the paper's footnote 3)."""
+        if self.sets_are_power_of_two:
+            return line_addr & (self.num_sets - 1)
+        return line_addr % self.num_sets
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """A (up to) three-level hierarchy plus memory timing.
+
+    ``l1`` and ``l2`` may be ``None`` for an LLC-only simulation (faster;
+    matches locality-only studies where private caches barely filter the
+    irregular stream).
+    """
+
+    llc: CacheConfig
+    l1: Optional[CacheConfig] = None
+    l2: Optional[CacheConfig] = None
+    dram_latency_ns: float = DRAM_LATENCY_NS
+    frequency_ghz: float = CORE_FREQUENCY_GHZ
+    num_nuca_banks: int = 8
+
+    def __post_init__(self) -> None:
+        line = self.llc.line_size
+        for level in (self.l1, self.l2):
+            if level is not None and level.line_size != line:
+                raise CacheConfigError("all levels must share one line size")
+        if self.num_nuca_banks <= 0:
+            raise CacheConfigError("num_nuca_banks must be positive")
+
+    @property
+    def line_size(self) -> int:
+        return self.llc.line_size
+
+    @property
+    def dram_latency_cycles(self) -> int:
+        """DRAM latency in core cycles (Table I: 173 ns at 2.266 GHz)."""
+        return int(round(self.dram_latency_ns * self.frequency_ghz))
+
+
+def paper_table1(num_cores: int = 8) -> HierarchyConfig:
+    """The paper's simulated machine (Table I), full size.
+
+    L1D 32 KiB 8-way, L2 256 KiB 8-way, LLC 3 MiB/core 16-way. The LLC's
+    load-to-use is 21 cycles (local NUCA bank).
+    """
+    llc_bytes = 3 * 1024 * 1024 * num_cores
+    llc_sets = llc_bytes // (16 * 64)
+    return HierarchyConfig(
+        l1=CacheConfig("L1", num_sets=64, num_ways=8, load_to_use_cycles=3),
+        l2=CacheConfig("L2", num_sets=512, num_ways=8, load_to_use_cycles=8),
+        llc=CacheConfig(
+            "LLC", num_sets=llc_sets, num_ways=16, load_to_use_cycles=21
+        ),
+        num_nuca_banks=num_cores,
+    )
+
+
+def scaled_hierarchy(
+    scale: str = "small", llc_ways: int = 16
+) -> HierarchyConfig:
+    """A hierarchy scaled to match the scaled-down graph datasets.
+
+    Keeps Table I's structure (8-way L1/L2, 16-way LLC, same latencies)
+    while shrinking capacities so that the Table III stand-in graphs at
+    the same scale still dwarf the LLC. The governing ratio is the
+    paper's: per-vertex irregular data spans roughly 3-5x the LLC's line
+    capacity (18-33 M vertices x 4 B against a 24 MiB LLC), so every
+    experiment stays in the working-set >> LLC regime.
+    """
+    llc_sets_by_scale = {
+        "tiny": 8,        # 8 KiB LLC for 1 K-vertex unit-test graphs
+        "small": 16,      # 16 KiB LLC vs 64 KiB srcData at 16 K vertices
+        "medium": 64,     # 64 KiB LLC vs 256 KiB srcData at 64 K vertices
+        "large": 256,     # 256 KiB LLC vs 1 MiB srcData at 256 K vertices
+    }
+    if scale not in llc_sets_by_scale:
+        raise CacheConfigError(
+            f"unknown scale {scale!r}; choose from {sorted(llc_sets_by_scale)}"
+        )
+    llc_sets = llc_sets_by_scale[scale]
+    l1_sets = max(2, llc_sets // 8)
+    l2_sets = max(4, llc_sets // 2)
+    return HierarchyConfig(
+        l1=CacheConfig("L1", num_sets=l1_sets, num_ways=8,
+                       load_to_use_cycles=3),
+        l2=CacheConfig("L2", num_sets=l2_sets, num_ways=8,
+                       load_to_use_cycles=8),
+        llc=CacheConfig("LLC", num_sets=llc_sets, num_ways=llc_ways,
+                        load_to_use_cycles=21),
+    )

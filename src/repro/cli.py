@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``run``        simulate one (app, graph, policy) combination
+- ``compare``    sweep several policies over one prepared run
+- ``experiment`` regenerate a paper figure/table by ID
+- ``tables``     print the paper's setup tables (I-III)
+- ``graphs``     list the Table III graph stand-ins with their stats
+
+Examples::
+
+    python -m repro run --app PR --graph URAND --policy P-OPT
+    python -m repro compare --app CC --graph DBP \
+        --policies LRU,DRRIP,P-OPT,T-OPT
+    python -m repro experiment fig07 --scale small
+    python -m repro tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+from . import apps as apps_module
+from .cache import scaled_hierarchy
+from .graph import datasets, degree_stats
+from .sim import experiments, prepare_run, simulate_prepared
+from .sim.tables import format_table, table1_rows, table2_rows, table3_rows
+
+__all__ = ["main", "APP_FACTORIES"]
+
+APP_FACTORIES = {
+    "PR": apps_module.PageRank,
+    "CC": apps_module.ConnectedComponents,
+    "PR-Delta": apps_module.PageRankDelta,
+    "Radii": apps_module.Radii,
+    "MIS": apps_module.MaximalIndependentSet,
+    "BFS": apps_module.BFS,
+    "SSSP": apps_module.SSSP,
+    "kCore": apps_module.KCore,
+}
+
+EXPERIMENTS = {
+    "fig02": experiments.fig02_sota_mpki,
+    "fig04": experiments.fig04_topt_mpki,
+    "fig07": experiments.fig07_rereference_designs,
+    "fig10": experiments.fig10_main_result,
+    "fig11": experiments.fig11_popt_se_scaling,
+    "fig12a": experiments.fig12a_grasp,
+    "fig12b": experiments.fig12b_hats,
+    "fig13": experiments.fig13_tiling,
+    "fig14": experiments.fig14_pb_phi,
+    "fig15": experiments.fig15_quantization,
+    "fig16": experiments.fig16_llc_sensitivity,
+    "table4": experiments.table4_preprocessing,
+}
+
+
+def _graph_choices():
+    return datasets.graph_names() + [
+        spec.name for spec in datasets.EXTENDED_GRAPHS
+    ]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="P-OPT (HPCA 2021) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one app/graph/policy")
+    run.add_argument("--app", choices=sorted(APP_FACTORIES), default="PR")
+    run.add_argument(
+        "--graph", choices=_graph_choices(), default="URAND"
+    )
+    run.add_argument("--policy", default="P-OPT")
+    run.add_argument(
+        "--scale", choices=sorted(datasets.SCALES), default="small"
+    )
+    run.add_argument("--seed", type=int, default=42)
+
+    compare = sub.add_parser("compare", help="sweep policies on one run")
+    compare.add_argument(
+        "--app", choices=sorted(APP_FACTORIES), default="PR"
+    )
+    compare.add_argument(
+        "--graph", choices=_graph_choices(), default="URAND"
+    )
+    compare.add_argument(
+        "--policies", default="LRU,DRRIP,P-OPT,T-OPT",
+        help="comma-separated policy names",
+    )
+    compare.add_argument(
+        "--scale", choices=sorted(datasets.SCALES), default="small"
+    )
+    compare.add_argument("--seed", type=int, default=42)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper figure/table"
+    )
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+    experiment.add_argument(
+        "--scale", choices=sorted(datasets.SCALES), default="small"
+    )
+
+    sub.add_parser("tables", help="print paper tables I-III")
+    graphs = sub.add_parser("graphs", help="list graph stand-ins")
+    graphs.add_argument(
+        "--scale", choices=sorted(datasets.SCALES), default="small"
+    )
+    return parser
+
+
+def _cmd_run(args) -> int:
+    graph = datasets.load(args.graph, scale=args.scale, seed=args.seed)
+    hierarchy = scaled_hierarchy(args.scale)
+    prepared = prepare_run(APP_FACTORIES[args.app](), graph)
+    result = simulate_prepared(prepared, args.policy, hierarchy)
+    rows = [result.summary()]
+    if result.popt_counters:
+        rows[0].update(
+            {
+                "tie_rate": result.popt_counters["tie_rate"],
+                "bytes_streamed": result.popt_counters["bytes_streamed"],
+            }
+        )
+    print(format_table(rows, f"{args.app} on {args.graph} "
+                             f"[{args.scale}]"))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    graph = datasets.load(args.graph, scale=args.scale, seed=args.seed)
+    hierarchy = scaled_hierarchy(args.scale)
+    prepared = prepare_run(APP_FACTORIES[args.app](), graph)
+    names = [p.strip() for p in args.policies.split(",") if p.strip()]
+    results = {
+        name: simulate_prepared(prepared, name, hierarchy)
+        for name in names
+    }
+    baseline = results[names[0]]
+    rows: List[Dict[str, object]] = []
+    for name, result in results.items():
+        rows.append(
+            {
+                "policy": name,
+                "miss_rate": round(result.llc_miss_rate, 4),
+                "mpki": round(result.llc_mpki, 2),
+                f"speedup_vs_{names[0]}": round(
+                    result.speedup_over(baseline), 3
+                ),
+                "reserved_ways": result.reserved_llc_ways,
+            }
+        )
+    print(format_table(rows, f"{args.app} on {args.graph} "
+                             f"[{args.scale}]"))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    rows = EXPERIMENTS[args.id](scale=args.scale)
+    print(format_table(rows, f"{args.id} [scale={args.scale}]"))
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    print(format_table(table1_rows(), "Table I: simulation parameters"))
+    print()
+    print(format_table(table2_rows(), "Table II: applications"))
+    print()
+    print(format_table(table3_rows(), "Table III: input graphs"))
+    return 0
+
+
+def _cmd_graphs(args) -> int:
+    rows = []
+    for name in datasets.graph_names():
+        graph = datasets.load(name, scale=args.scale)
+        row = {"graph": name}
+        row.update(degree_stats(graph).as_row())
+        rows.append(row)
+    print(format_table(rows, f"Graph stand-ins at scale={args.scale}"))
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "experiment": _cmd_experiment,
+        "tables": _cmd_tables,
+        "graphs": _cmd_graphs,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

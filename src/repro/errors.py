@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """An edge list, CSR array, or serialized graph is malformed."""
+
+
+class LayoutError(ReproError):
+    """An address-space layout request is invalid (overlap, bad size, ...)."""
+
+
+class CacheConfigError(ReproError):
+    """A cache geometry is invalid (non power-of-two line, zero ways, ...)."""
+
+
+class PolicyError(ReproError):
+    """A replacement policy was misused or misconfigured."""
+
+
+class SimulationError(ReproError):
+    """The simulation driver was wired incorrectly."""

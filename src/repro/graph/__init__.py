@@ -1,0 +1,84 @@
+"""Graph substrate: CSR/CSC graphs, generators, reordering, tiling, I/O."""
+
+from .builders import (
+    deduplicate_edges,
+    empty_graph,
+    from_adjacency,
+    from_edges,
+    remove_self_loops,
+    symmetrize,
+)
+from .csr import CSRGraph
+from .datasets import (
+    EXTENDED_GRAPHS,
+    PAPER_GRAPHS,
+    SCALES,
+    GraphSpec,
+    graph_names,
+    load,
+)
+from .generators import (
+    bounded_degree_mesh,
+    community,
+    kronecker,
+    power_law,
+    rmat,
+    uniform_random,
+)
+from .io import (
+    load_csr,
+    load_edge_list,
+    load_weighted_edge_list,
+    save_csr,
+    save_edge_list,
+    save_weighted_edge_list,
+)
+from .properties import DegreeStats, degree_skew, degree_stats
+from .reorder import (
+    DbgLayout,
+    apply_order,
+    dbg_order,
+    identity_order,
+    random_order,
+    sort_by_degree,
+)
+from .tiling import GraphTile, segment_csr
+
+__all__ = [
+    "CSRGraph",
+    "from_edges",
+    "from_adjacency",
+    "empty_graph",
+    "symmetrize",
+    "remove_self_loops",
+    "deduplicate_edges",
+    "uniform_random",
+    "rmat",
+    "kronecker",
+    "power_law",
+    "community",
+    "bounded_degree_mesh",
+    "GraphSpec",
+    "PAPER_GRAPHS",
+    "EXTENDED_GRAPHS",
+    "SCALES",
+    "graph_names",
+    "load",
+    "DegreeStats",
+    "degree_stats",
+    "degree_skew",
+    "DbgLayout",
+    "dbg_order",
+    "sort_by_degree",
+    "random_order",
+    "identity_order",
+    "apply_order",
+    "GraphTile",
+    "segment_csr",
+    "load_edge_list",
+    "save_weighted_edge_list",
+    "load_weighted_edge_list",
+    "save_edge_list",
+    "load_csr",
+    "save_csr",
+]

@@ -1,0 +1,105 @@
+"""Construct :class:`~repro.graph.csr.CSRGraph` instances from edge data."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .csr import CSRGraph
+
+__all__ = [
+    "from_edges",
+    "from_adjacency",
+    "empty_graph",
+    "symmetrize",
+    "remove_self_loops",
+    "deduplicate_edges",
+]
+
+
+def _as_edge_array(edges) -> np.ndarray:
+    array = np.asarray(edges, dtype=np.int64)
+    if array.size == 0:
+        return array.reshape(0, 2)
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise GraphFormatError("edges must be an (E, 2) array of (src, dst)")
+    return array
+
+
+def from_edges(
+    edges,
+    num_vertices: Optional[int] = None,
+    *,
+    dedup: bool = False,
+    drop_self_loops: bool = False,
+) -> CSRGraph:
+    """Build a directed graph from ``(src, dst)`` pairs.
+
+    Neighbor lists in the result are sorted, as the rest of the library
+    (notably T-OPT's binary-searched transpose walks) requires.
+    """
+    array = _as_edge_array(edges)
+    if drop_self_loops and len(array):
+        array = array[array[:, 0] != array[:, 1]]
+    if num_vertices is None:
+        num_vertices = int(array.max()) + 1 if len(array) else 0
+    if len(array):
+        if array.min() < 0:
+            raise GraphFormatError("negative vertex ID in edge list")
+        if array.max() >= num_vertices:
+            raise GraphFormatError(
+                f"vertex ID {int(array.max())} exceeds num_vertices={num_vertices}"
+            )
+    if dedup and len(array):
+        array = np.unique(array, axis=0)
+    sources = array[:, 0]
+    destinations = array[:, 1]
+    counts = np.bincount(sources, minlength=num_vertices)
+    offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    # Sort edges by (src, dst) so neighbor lists come out sorted.
+    order = np.lexsort((destinations, sources))
+    neighbors = destinations[order].astype(np.int32)
+    return CSRGraph(offsets=offsets, neighbors=neighbors)
+
+
+def from_adjacency(adjacency: Sequence[Iterable[int]]) -> CSRGraph:
+    """Build a graph from a per-vertex adjacency list (list of iterables)."""
+    edges = [
+        (src, dst) for src, neighbors in enumerate(adjacency) for dst in neighbors
+    ]
+    return from_edges(edges, num_vertices=len(adjacency))
+
+
+def empty_graph(num_vertices: int) -> CSRGraph:
+    """A graph with ``num_vertices`` vertices and no edges."""
+    if num_vertices < 0:
+        raise GraphFormatError("num_vertices must be non-negative")
+    return CSRGraph(
+        offsets=np.zeros(num_vertices + 1, dtype=np.int64),
+        neighbors=np.empty(0, dtype=np.int32),
+    )
+
+
+def symmetrize(graph: CSRGraph) -> CSRGraph:
+    """Return the undirected closure: every edge gains its reverse."""
+    edges = graph.edge_array()
+    both = np.vstack([edges, edges[:, ::-1]])
+    return from_edges(both, num_vertices=graph.num_vertices, dedup=True)
+
+
+def remove_self_loops(graph: CSRGraph) -> CSRGraph:
+    """Return a copy of ``graph`` without self-loop edges."""
+    edges = graph.edge_array()
+    return from_edges(
+        edges, num_vertices=graph.num_vertices, drop_self_loops=True
+    )
+
+
+def deduplicate_edges(graph: CSRGraph) -> CSRGraph:
+    """Return a copy of ``graph`` with duplicate edges removed."""
+    return from_edges(
+        graph.edge_array(), num_vertices=graph.num_vertices, dedup=True
+    )

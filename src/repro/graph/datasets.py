@@ -1,0 +1,179 @@
+"""Named input graphs: scaled-down stand-ins for the paper's Table III.
+
+The paper evaluates on five large graphs (18-34 M vertices). Running a
+trace-driven cache simulator in Python at that scale is infeasible, so each
+name maps to a synthetic generator from the same *structural class* at a
+configurable scale, paired with a proportionally scaled cache (see
+``repro.cache.config.scaled_hierarchy``). The working-set >> LLC regime —
+the property every experiment depends on — is preserved at all scales.
+
+==========  =======================  ==========================================
+Paper name  Structural class         Stand-in generator
+==========  =======================  ==========================================
+DBP         power-law (knowledge     :func:`repro.graph.generators.power_law`
+            graph, hubs)
+UK-02       community structure      :func:`repro.graph.generators.community`
+            (web crawl)
+KRON        extreme skew             :func:`repro.graph.generators.rmat`
+            (synthetic Kronecker)
+URAND       uniform random           :func:`repro.graph.generators.uniform_random`
+HBUBL       bounded degree, high     :func:`repro.graph.generators.bounded_degree_mesh`
+            diameter
+==========  =======================  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import GraphFormatError
+from . import generators
+from .csr import CSRGraph
+
+__all__ = [
+    "GraphSpec",
+    "SCALES",
+    "PAPER_GRAPHS",
+    "EXTENDED_GRAPHS",
+    "graph_names",
+    "load",
+    "paper_table3",
+]
+
+#: Vertex counts per scale profile. "small" is the default used by tests
+#: and benchmarks; "tiny" is for unit tests; larger profiles trade runtime
+#: for fidelity.
+SCALES: Dict[str, int] = {
+    "tiny": 1024,
+    "small": 16384,
+    "medium": 65536,
+    "large": 262144,
+}
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """A named graph: structural class + generator + paper-scale metadata."""
+
+    name: str
+    structural_class: str
+    paper_vertices_m: float
+    paper_edges_m: float
+    build: Callable[[int, int], CSRGraph]
+
+    def generate(self, scale: str = "small", seed: int = 42) -> CSRGraph:
+        """Build the stand-in graph at the given scale profile."""
+        if scale not in SCALES:
+            raise GraphFormatError(
+                f"unknown scale {scale!r}; choose from {sorted(SCALES)}"
+            )
+        return self.build(SCALES[scale], seed)
+
+
+def _build_dbp(n: int, seed: int) -> CSRGraph:
+    return generators.power_law(n, avg_degree=8.0, exponent=2.1, seed=seed)
+
+
+def _build_uk02(n: int, seed: int) -> CSRGraph:
+    return generators.community(
+        n,
+        num_communities=max(4, n // 256),
+        avg_degree=16.0,
+        internal_fraction=0.9,
+        seed=seed,
+    )
+
+
+def _build_kron(n: int, seed: int) -> CSRGraph:
+    scale = max(1, (n - 1).bit_length())
+    return generators.rmat(scale, avg_degree=4.0, seed=seed)
+
+
+def _build_urand(n: int, seed: int) -> CSRGraph:
+    return generators.uniform_random(n, avg_degree=4.0, seed=seed)
+
+
+def _build_hbubl(n: int, seed: int) -> CSRGraph:
+    return generators.bounded_degree_mesh(n, degree=6, seed=seed)
+
+
+PAPER_GRAPHS: Tuple[GraphSpec, ...] = (
+    GraphSpec("DBP", "power-law", 18.27, 136.53, _build_dbp),
+    GraphSpec("UK-02", "community", 18.52, 292.24, _build_uk02),
+    GraphSpec("KRON", "skewed-kronecker", 33.55, 133.51, _build_kron),
+    GraphSpec("URAND", "uniform-random", 33.55, 134.22, _build_urand),
+    GraphSpec("HBUBL", "bounded-degree", 21.20, 63.58, _build_hbubl),
+)
+
+
+def _build_gpl(n: int, seed: int) -> CSRGraph:
+    # GPL: the most skewed input in Fig. 12(a) — a steeper power law.
+    return generators.power_law(n, avg_degree=8.0, exponent=1.9, seed=seed)
+
+
+def _build_arab(n: int, seed: int) -> CSRGraph:
+    # ARAB: the second community-structured crawl of Fig. 12(b). Unlike
+    # the UK-02 stand-in (ID-contiguous communities, i.e. crawl-ordered),
+    # ARAB's vertex IDs are scrambled: community structure exists in the
+    # topology but not in the ID space, so identity-order traversals see
+    # none of it — the case where HATS-BDFS's dynamic scheduling shines.
+    import numpy as np
+
+    contiguous = generators.community(
+        n,
+        num_communities=max(4, n // 128),
+        avg_degree=16.0,
+        internal_fraction=0.95,
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed + 1)
+    return contiguous.relabel(
+        rng.permutation(contiguous.num_vertices).astype(np.int32)
+    )
+
+
+def _build_urand64(n: int, seed: int) -> CSRGraph:
+    # URAND64: Fig. 13's larger uniform graph (2x URAND's vertices).
+    return generators.uniform_random(2 * n, avg_degree=4.0, seed=seed)
+
+
+#: Additional inputs used by individual experiments (Figs. 12-13).
+EXTENDED_GRAPHS: Tuple[GraphSpec, ...] = (
+    GraphSpec("GPL", "power-law-steep", 0.0, 0.0, _build_gpl),
+    GraphSpec("ARAB", "community-strong", 0.0, 0.0, _build_arab),
+    GraphSpec("URAND64", "uniform-random-2x", 0.0, 0.0, _build_urand64),
+)
+
+_BY_NAME = {
+    spec.name: spec for spec in PAPER_GRAPHS + EXTENDED_GRAPHS
+}
+
+
+def graph_names() -> List[str]:
+    """The paper's graph names, in Table III order."""
+    return [spec.name for spec in PAPER_GRAPHS]
+
+
+def load(name: str, scale: str = "small", seed: int = 42) -> CSRGraph:
+    """Generate the stand-in for the named paper graph."""
+    try:
+        spec = _BY_NAME[name]
+    except KeyError:
+        raise GraphFormatError(
+            f"unknown graph {name!r}; choose from {graph_names()}"
+        ) from None
+    return spec.generate(scale=scale, seed=seed)
+
+
+def paper_table3() -> List[dict]:
+    """Table III of the paper as data (paper-scale vertex/edge counts)."""
+    return [
+        {
+            "graph": spec.name,
+            "class": spec.structural_class,
+            "paper_vertices_M": spec.paper_vertices_m,
+            "paper_edges_M": spec.paper_edges_m,
+        }
+        for spec in PAPER_GRAPHS
+    ]

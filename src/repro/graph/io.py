@@ -1,0 +1,130 @@
+"""Graph serialization: text edge lists (.el) and binary CSR (.npz)."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .builders import from_edges
+from .csr import CSRGraph
+
+__all__ = [
+    "save_edge_list",
+    "load_edge_list",
+    "save_weighted_edge_list",
+    "load_weighted_edge_list",
+    "save_csr",
+    "load_csr",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_edge_list(graph: CSRGraph, path: PathLike) -> None:
+    """Write ``graph`` as a whitespace-separated ``src dst`` text file.
+
+    The format matches the GAP benchmark suite's ``.el`` files.
+    """
+    edges = graph.edge_array()
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(f"# vertices {graph.num_vertices}\n")
+        for src, dst in edges:
+            handle.write(f"{src} {dst}\n")
+
+
+def load_edge_list(path: PathLike, num_vertices: int = None) -> CSRGraph:
+    """Read a ``src dst`` text file written by :func:`save_edge_list`.
+
+    A leading ``# vertices N`` comment pins the vertex count; otherwise it
+    is inferred from the maximum ID. Blank lines and ``#`` comments are
+    skipped.
+    """
+    edges = []
+    with open(path, "r", encoding="ascii") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 2 and parts[0] == "vertices":
+                    num_vertices = int(parts[1])
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(
+                    f"{path}:{line_number}: expected 'src dst', got {line!r}"
+                )
+            edges.append((int(parts[0]), int(parts[1])))
+    return from_edges(edges, num_vertices=num_vertices)
+
+
+def save_csr(graph: CSRGraph, path: PathLike) -> None:
+    """Write ``graph`` in binary CSR form (numpy ``.npz``)."""
+    np.savez_compressed(
+        path, offsets=graph.offsets, neighbors=graph.neighbors
+    )
+
+
+def load_csr(path: PathLike) -> CSRGraph:
+    """Read a graph saved by :func:`save_csr`."""
+    with np.load(path) as data:
+        if "offsets" not in data or "neighbors" not in data:
+            raise GraphFormatError(f"{path}: not a CSR archive")
+        return CSRGraph(
+            offsets=data["offsets"], neighbors=data["neighbors"]
+        )
+
+
+def save_weighted_edge_list(graph: CSRGraph, weights, path: PathLike) -> None:
+    """Write ``src dst weight`` lines (the GAP suite's ``.wel`` format).
+
+    ``weights`` holds one integer weight per CSR edge, in edge order.
+    """
+    weights = np.asarray(weights)
+    if len(weights) != graph.num_edges:
+        raise GraphFormatError(
+            f"expected {graph.num_edges} weights, got {len(weights)}"
+        )
+    edges = graph.edge_array()
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(f"# vertices {graph.num_vertices}\n")
+        for (src, dst), weight in zip(edges, weights):
+            handle.write(f"{src} {dst} {weight}\n")
+
+
+def load_weighted_edge_list(path: PathLike, num_vertices: int = None):
+    """Read a ``.wel`` file; returns ``(graph, weights)``.
+
+    Weights are returned in the graph's edge order (edges are re-sorted
+    by (src, dst) during CSR construction).
+    """
+    records = []
+    with open(path, "r", encoding="ascii") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 2 and parts[0] == "vertices":
+                    num_vertices = int(parts[1])
+                continue
+            parts = line.split()
+            if len(parts) < 3:
+                raise GraphFormatError(
+                    f"{path}:{line_number}: expected 'src dst weight', "
+                    f"got {line!r}"
+                )
+            records.append((int(parts[0]), int(parts[1]), int(parts[2])))
+    if not records:
+        graph = from_edges([], num_vertices=num_vertices or 0)
+        return graph, np.empty(0, dtype=np.int64)
+    array = np.asarray(records, dtype=np.int64)
+    graph = from_edges(array[:, :2], num_vertices=num_vertices)
+    # Reorder weights to match the CSR's (src, dst)-sorted edge order.
+    order = np.lexsort((array[:, 1], array[:, 0]))
+    return graph, array[order, 2]

@@ -1,0 +1,79 @@
+"""CSR-segmenting: 1-D tiling of a graph (Zhang et al. [57], Fig. 13).
+
+CSR-segmenting splits the *source* vertex range into ``num_tiles``
+contiguous segments and builds one sub-CSC per segment. A pull kernel then
+runs once per tile, touching only the ``srcData`` elements inside that
+tile's segment — shrinking the irregular working set per pass. The paper
+shows tiling and P-OPT are mutually enabling: tiling shrinks the
+Rereference Matrix column P-OPT must pin, and P-OPT reaches a given miss
+rate with far fewer tiles than DRRIP (cutting tiling's preprocessing cost,
+which scales with tile count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .builders import from_edges
+from .csr import CSRGraph
+
+__all__ = ["GraphTile", "segment_csr"]
+
+
+@dataclass(frozen=True)
+class GraphTile:
+    """One segment of a CSR-segmented graph.
+
+    ``graph`` keeps the full vertex ID space (so per-vertex data arrays are
+    shared across tiles) but contains only edges whose *source* vertex
+    falls within ``[src_begin, src_end)``.
+    """
+
+    graph: CSRGraph
+    src_begin: int
+    src_end: int
+
+    @property
+    def segment_size(self) -> int:
+        return self.src_end - self.src_begin
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphTile(src=[{self.src_begin}, {self.src_end}), "
+            f"edges={self.graph.num_edges})"
+        )
+
+
+def segment_csr(graph: CSRGraph, num_tiles: int) -> List[GraphTile]:
+    """Split ``graph`` into ``num_tiles`` tiles by source-vertex range.
+
+    For a pull execution, pass the graph whose *neighbor lists are the
+    sources* (the CSC): each tile then restricts the irregularly accessed
+    source range. Tiles partition the edges exactly: concatenating all
+    tiles' edges reproduces the input graph.
+    """
+    if num_tiles <= 0:
+        raise GraphFormatError("num_tiles must be positive")
+    if num_tiles > max(graph.num_vertices, 1):
+        raise GraphFormatError("more tiles than vertices")
+    edges = graph.edge_array()
+    bounds = _tile_bounds(graph.num_vertices, num_tiles)
+    tiles = []
+    for begin, end in bounds:
+        if len(edges):
+            mask = (edges[:, 1] >= begin) & (edges[:, 1] < end)
+            tile_edges = edges[mask]
+        else:
+            tile_edges = edges
+        tile_graph = from_edges(tile_edges, num_vertices=graph.num_vertices)
+        tiles.append(GraphTile(graph=tile_graph, src_begin=begin, src_end=end))
+    return tiles
+
+
+def _tile_bounds(num_vertices: int, num_tiles: int) -> List[Tuple[int, int]]:
+    edges = np.linspace(0, num_vertices, num_tiles + 1).astype(np.int64)
+    return [(int(edges[i]), int(edges[i + 1])) for i in range(num_tiles)]

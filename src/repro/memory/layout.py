@@ -1,0 +1,160 @@
+"""Address-space layout for simulated application data.
+
+Graph kernels operate over a handful of large arrays (CSR offsets and
+neighbors, per-vertex data, frontier bit-vectors). The cache simulator works
+on byte addresses, so each array is placed at a line-aligned base address in
+a flat simulated address space.
+
+P-OPT's architecture (Section V-B) identifies irregularly-accessed data by
+address range: software configures ``irreg_base``/``irreg_bound`` registers,
+and the paper guarantees contiguity by allocating ``irregData`` in a single
+1 GB huge page. Here every array is contiguous by construction, and spans
+flagged ``irregular=True`` model those registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import LayoutError
+
+__all__ = ["ArraySpan", "AddressSpace"]
+
+
+@dataclass(frozen=True)
+class ArraySpan:
+    """A contiguous simulated array.
+
+    ``elem_bits`` supports sub-byte elements: frontier bit-vectors use one
+    bit per vertex (Table II), so 512 vertices share a 64 B cache line.
+    """
+
+    name: str
+    base: int
+    num_elems: int
+    elem_bits: int
+    line_size: int
+    irregular: bool
+
+    @property
+    def num_bytes(self) -> int:
+        """Bytes occupied, rounded up to whole bytes."""
+        return (self.num_elems * self.elem_bits + 7) // 8
+
+    @property
+    def bound(self) -> int:
+        """One past the last byte (the ``irreg_bound`` register value)."""
+        return self.base + self.num_bytes
+
+    @property
+    def elems_per_line(self) -> int:
+        """How many elements share one cache line."""
+        return max(1, (self.line_size * 8) // self.elem_bits)
+
+    @property
+    def num_lines(self) -> int:
+        """Cache lines spanned (the Rereference Matrix's row count)."""
+        return (self.num_bytes + self.line_size - 1) // self.line_size
+
+    def addr_of(self, index) -> "np.ndarray | int":
+        """Byte address of element ``index`` (scalar or numpy array)."""
+        if self.elem_bits % 8 == 0:
+            return self.base + index * (self.elem_bits // 8)
+        return self.base + (index * self.elem_bits) // 8
+
+    def line_of(self, index) -> "np.ndarray | int":
+        """Array-local cache-line ID of element ``index``."""
+        return (index * self.elem_bits) // (8 * self.line_size)
+
+    def line_id_of_addr(self, addr) -> "np.ndarray | int":
+        """Array-local cache-line ID for a byte address inside the span.
+
+        This is the next-ref engine's address arithmetic:
+        ``cachelineID = (addr - irreg_base) / 64`` (Section V-C).
+        """
+        return (addr - self.base) // self.line_size
+
+    def contains(self, addr) -> "np.ndarray | bool":
+        """Whether ``addr`` falls inside [base, bound) — the base/bound
+        register comparison the next-ref engine performs per way."""
+        return (addr >= self.base) & (addr < self.bound)
+
+
+class AddressSpace:
+    """A flat simulated address space with line-aligned allocation.
+
+    Arrays are placed sequentially; each allocation is aligned to the cache
+    line size and padded so that no two arrays share a line (mirroring the
+    paper's huge-page placement, and keeping ``irregular`` range checks
+    exact).
+    """
+
+    def __init__(self, line_size: int = 64, base: int = 1 << 30) -> None:
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise LayoutError("line_size must be a positive power of two")
+        self.line_size = line_size
+        self._cursor = base
+        self._spans: Dict[str, ArraySpan] = {}
+
+    def alloc(
+        self,
+        name: str,
+        num_elems: int,
+        elem_bits: int,
+        irregular: bool = False,
+    ) -> ArraySpan:
+        """Allocate a named array and return its span.
+
+        ``irregular=True`` marks the span as one of the kernel's
+        irregularly-accessed data structures (``srcData``/``dstData``/
+        frontier) — the data P-OPT builds a Rereference Matrix for.
+        """
+        if name in self._spans:
+            raise LayoutError(f"array {name!r} already allocated")
+        if num_elems < 0 or elem_bits <= 0:
+            raise LayoutError("num_elems must be >= 0 and elem_bits > 0")
+        span = ArraySpan(
+            name=name,
+            base=self._cursor,
+            num_elems=num_elems,
+            elem_bits=elem_bits,
+            line_size=self.line_size,
+            irregular=irregular,
+        )
+        self._spans[name] = span
+        lines = max(1, span.num_lines)
+        self._cursor += lines * self.line_size
+        return span
+
+    def __getitem__(self, name: str) -> ArraySpan:
+        try:
+            return self._spans[name]
+        except KeyError:
+            raise LayoutError(f"no array named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._spans
+
+    @property
+    def spans(self) -> List[ArraySpan]:
+        """All spans in allocation order."""
+        return list(self._spans.values())
+
+    @property
+    def irregular_spans(self) -> List[ArraySpan]:
+        """Spans flagged irregular (the irreg_base/bound register set)."""
+        return [span for span in self._spans.values() if span.irregular]
+
+    def span_of_addr(self, addr: int) -> Optional[ArraySpan]:
+        """The span containing byte address ``addr``, or None."""
+        for span in self._spans.values():
+            if span.contains(addr):
+                return span
+        return None
+
+    def total_bytes(self) -> int:
+        """Total footprint of all allocated arrays (line-rounded)."""
+        return sum(max(1, s.num_lines) * self.line_size for s in self.spans)

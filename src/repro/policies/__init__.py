@@ -1,0 +1,42 @@
+"""Replacement policies: baselines and prior work.
+
+The paper's contribution (T-OPT / P-OPT) lives in :mod:`repro.popt`; this
+package holds everything it is compared against.
+"""
+
+from .base import ReplacementPolicy
+from .deadblock import SDBP, Leeway
+from .grasp import GRASP
+from .hawkeye import Hawkeye
+from .lip import BIP, LIP
+from .lru import LRU
+from .opt import BeladyOPT
+from .plru import BitPLRU
+from .random_policy import RandomReplacement
+from .registry import PolicyContext, make_policy, policy_names, register_policy
+from .rrip import BRRIP, DRRIP, SRRIP
+from .ship import SHiP, ship_mem, ship_pc
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRU",
+    "LIP",
+    "BIP",
+    "BitPLRU",
+    "RandomReplacement",
+    "SRRIP",
+    "BRRIP",
+    "DRRIP",
+    "SHiP",
+    "ship_pc",
+    "ship_mem",
+    "Hawkeye",
+    "BeladyOPT",
+    "GRASP",
+    "SDBP",
+    "Leeway",
+    "PolicyContext",
+    "make_policy",
+    "policy_names",
+    "register_policy",
+]

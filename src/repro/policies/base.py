@@ -1,0 +1,61 @@
+"""Replacement policy interface.
+
+A policy owns all replacement metadata for the cache it is bound to. The
+cache calls back on hits, fills, and evictions, and asks
+:meth:`choose_victim` when a set is full. Policies may inspect the bound
+cache's ``tags`` to see which lines are resident (T-OPT and P-OPT need the
+victim candidates' addresses).
+
+One policy instance serves one cache: :meth:`bind` is called by the cache
+constructor and (re)initializes per-set state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import PolicyError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cache.cache import AccessContext, SetAssociativeCache
+
+__all__ = ["ReplacementPolicy"]
+
+
+class ReplacementPolicy:
+    """Base class; subclasses override the hooks they need."""
+
+    #: Human-readable policy name (used in reports and plots).
+    name = "base"
+
+    def __init__(self) -> None:
+        self.cache = None
+        self.num_sets = 0
+        self.num_ways = 0
+
+    def bind(self, cache: "SetAssociativeCache") -> None:
+        """Attach to a cache and (re)build per-set metadata."""
+        self.cache = cache
+        self.num_sets = cache.num_sets
+        self.num_ways = cache.num_ways
+        self.reset()
+
+    def reset(self) -> None:
+        """Initialize per-set metadata. Called from :meth:`bind`."""
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+
+    def on_hit(self, set_idx: int, way: int, ctx: "AccessContext") -> None:
+        """The line in (set_idx, way) was re-referenced."""
+
+    def on_fill(self, set_idx: int, way: int, ctx: "AccessContext") -> None:
+        """A new line was installed into (set_idx, way)."""
+
+    def on_evict(self, set_idx: int, way: int, ctx: "AccessContext") -> None:
+        """The line in (set_idx, way) is about to be evicted."""
+
+    def choose_victim(self, set_idx: int, ctx: "AccessContext") -> int:
+        """Pick a way to evict from a full set."""
+        raise PolicyError(f"{self.name} does not implement choose_victim")

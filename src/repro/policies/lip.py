@@ -1,0 +1,65 @@
+"""LIP / BIP: LRU-insertion-point policies (Qureshi et al., ISCA'07).
+
+Predecessors of the RRIP family the paper builds on [29], [30]: LIP
+inserts new lines at the *LRU* position (a thrashing stream then only
+ever replaces its own most recent line), and BIP inserts at MRU with a
+small probability epsilon to let the working set rotate. Included as
+additional baselines for the replacement-policy substrate — they bound
+what pure insertion-policy tweaks (no prediction at all) achieve on
+graph workloads.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .base import ReplacementPolicy
+
+__all__ = ["LIP", "BIP"]
+
+
+class LIP(ReplacementPolicy):
+    """LRU Insertion Policy: fill at LRU, promote to MRU on hit."""
+
+    name = "LIP"
+
+    def reset(self) -> None:
+        self._clock = 0
+        self._stamps = [[0] * self.num_ways for _ in range(self.num_sets)]
+
+    def on_hit(self, set_idx: int, way: int, ctx) -> None:
+        self._clock += 1
+        self._stamps[set_idx][way] = self._clock
+
+    def on_fill(self, set_idx: int, way: int, ctx) -> None:
+        # Insert at LRU: stamp *below* the set's current minimum so the
+        # line is the next victim unless it gets a hit first.
+        stamps = self._stamps[set_idx]
+        self._stamps[set_idx][way] = min(stamps) - 1
+
+    def choose_victim(self, set_idx: int, ctx) -> int:
+        stamps = self._stamps[set_idx]
+        return stamps.index(min(stamps))
+
+
+class BIP(LIP):
+    """Bimodal Insertion Policy: LIP with an epsilon of MRU insertions."""
+
+    name = "BIP"
+
+    EPSILON = 1.0 / 32.0
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._seed = seed
+
+    def reset(self) -> None:
+        super().reset()
+        self._rng = random.Random(self._seed)
+
+    def on_fill(self, set_idx: int, way: int, ctx) -> None:
+        if self._rng.random() < self.EPSILON:
+            self._clock += 1
+            self._stamps[set_idx][way] = self._clock  # MRU insertion
+        else:
+            super().on_fill(set_idx, way, ctx)

@@ -1,0 +1,42 @@
+"""Bit-PLRU replacement (Table I: the L1/L2 policy)."""
+
+from __future__ import annotations
+
+from .base import ReplacementPolicy
+
+__all__ = ["BitPLRU"]
+
+
+class BitPLRU(ReplacementPolicy):
+    """Bit pseudo-LRU: one MRU bit per way.
+
+    A touch sets the way's bit; when the last zero bit would disappear, all
+    *other* bits are cleared first. The victim is the lowest-indexed way
+    with a clear bit.
+    """
+
+    name = "Bit-PLRU"
+
+    def reset(self) -> None:
+        self._mru = [[False] * self.num_ways for _ in range(self.num_sets)]
+
+    def _touch(self, set_idx: int, way: int) -> None:
+        bits = self._mru[set_idx]
+        bits[way] = True
+        if all(bits):
+            for other in range(self.num_ways):
+                if other != way:
+                    bits[other] = False
+
+    def on_hit(self, set_idx: int, way: int, ctx) -> None:
+        self._touch(set_idx, way)
+
+    def on_fill(self, set_idx: int, way: int, ctx) -> None:
+        self._touch(set_idx, way)
+
+    def choose_victim(self, set_idx: int, ctx) -> int:
+        bits = self._mru[set_idx]
+        try:
+            return bits.index(False)
+        except ValueError:  # pragma: no cover - _touch keeps a zero bit
+            return 0

@@ -1,0 +1,25 @@
+"""Random replacement (sanity-check baseline)."""
+
+from __future__ import annotations
+
+import random
+
+from .base import ReplacementPolicy
+
+__all__ = ["RandomReplacement"]
+
+
+class RandomReplacement(ReplacementPolicy):
+    """Uniformly random victim selection (deterministic given ``seed``)."""
+
+    name = "Random"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._seed = seed
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+    def choose_victim(self, set_idx: int, ctx) -> int:
+        return self._rng.randrange(self.num_ways)

@@ -1,0 +1,162 @@
+"""P-OPT's architecture model (Section V).
+
+Models the parts of P-OPT that live outside the replacement decision
+itself:
+
+- **Way reservation** (Section V-A): the Rereference Matrix columns are
+  pinned in reserved LLC ways; the application sees a smaller effective
+  associativity/capacity. :func:`reserved_ways` computes the minimum
+  reservation, and :func:`effective_llc` derives the app-visible config.
+- **Register file** (Sections V-B/V-C): ``irreg_base``/``irreg_bound`` per
+  irregular stream, ``currVertex``, per-epoch ``set-base``/``way-base``
+  pointers. In simulation the register values come from the layout and the
+  trace's ``vertex`` channel; :class:`PoptRegisters` packages them and
+  checks the paper's constraints (irregData contiguity).
+- **Next-ref engine and streaming engine cost accounting**
+  (Sections V-C/V-D): counters for RM lookups, replacement events, ties,
+  epoch transitions and bytes streamed, which the timing model converts
+  into cycles.
+- **NUCA mapping** (Section V-E): delegated to
+  :class:`repro.cache.nuca.BankMapper`; :func:`nuca_locality_report`
+  verifies bank-local RM access under P-OPT's modified mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..cache.config import CacheConfig
+from ..cache.nuca import BankMapper
+from ..errors import CacheConfigError, LayoutError
+from ..memory.layout import ArraySpan
+
+__all__ = [
+    "reserved_ways",
+    "effective_llc",
+    "PoptRegisters",
+    "PoptCounters",
+    "nuca_locality_report",
+]
+
+
+def reserved_ways(resident_bytes: int, llc: CacheConfig) -> int:
+    """Minimum LLC ways that hold ``resident_bytes`` of RM columns.
+
+    Way-based partitioning (Intel CAT-style, Section V-A): one way spans
+    ``num_sets * line_size`` bytes.
+    """
+    if resident_bytes < 0:
+        raise CacheConfigError("resident_bytes must be non-negative")
+    ways = -(-resident_bytes // llc.way_bytes)  # ceil division
+    return int(ways)
+
+
+def effective_llc(llc: CacheConfig, resident_bytes: int) -> CacheConfig:
+    """The app-visible LLC after reserving ways for RM columns.
+
+    Raises when the RM does not leave at least one way for data — the
+    regime where P-OPT stops being applicable (Fig. 11's right edge).
+    """
+    reservation = reserved_ways(resident_bytes, llc)
+    remaining = llc.num_ways - reservation
+    if remaining < 1:
+        raise CacheConfigError(
+            f"Rereference Matrix needs {reservation} of {llc.num_ways} "
+            "LLC ways; no capacity left for application data"
+        )
+    return llc.with_ways(remaining)
+
+
+@dataclass(frozen=True)
+class PoptRegisters:
+    """Software-configured register state (memory-mapped, set once).
+
+    ``irreg_spans`` mirrors the per-stream ``irreg_base``/``irreg_bound``
+    register pairs; the paper supports "two irregular data structures —
+    frontier and srcData/dstData" which "covers many important graph
+    applications" (Section V-F).
+    """
+
+    irreg_spans: Sequence[ArraySpan]
+    epoch_size: int
+    sub_epoch_size: int
+    line_size: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.irreg_spans:
+            raise LayoutError("P-OPT needs at least one irregular span")
+        for span in self.irreg_spans:
+            if span.base % self.line_size:
+                raise LayoutError(
+                    f"{span.name}: irregData must be line-aligned "
+                    "(the paper allocates it in one huge page)"
+                )
+
+    def stream_of(self, line_addr: int) -> int:
+        """Index of the irregular span containing a line address, or -1.
+
+        This is the base/bound comparison the next-ref engine performs for
+        every way in the eviction set (Section V-B).
+        """
+        for index, span in enumerate(self.irreg_spans):
+            base_line = span.base // self.line_size
+            if base_line <= line_addr < base_line + span.num_lines:
+                return index
+        return -1
+
+
+@dataclass
+class PoptCounters:
+    """Cost accounting for the next-ref and streaming engines."""
+
+    replacements: int = 0
+    streaming_evictions: int = 0       # victims found by base/bound check
+    rm_lookups: int = 0                # RM entry reads by the engine
+    ties: int = 0                      # replacements decided by tie-break
+    tie_candidates: int = 0            # ways tied at the winning next-ref
+    epoch_transitions: int = 0
+    bytes_streamed: int = 0            # RM column bytes moved at boundaries
+
+    def tie_rate(self) -> float:
+        """Fraction of replacements that ended in a tie (Fig. 15's 41%/12%/0%
+        for 4/8/16-bit quantization)."""
+        return self.ties / self.replacements if self.replacements else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "replacements": self.replacements,
+            "streaming_evictions": self.streaming_evictions,
+            "rm_lookups": self.rm_lookups,
+            "ties": self.ties,
+            "tie_rate": round(self.tie_rate(), 4),
+            "epoch_transitions": self.epoch_transitions,
+            "bytes_streamed": self.bytes_streamed,
+        }
+
+
+def nuca_locality_report(
+    mapper: BankMapper, span: ArraySpan, sample_stride: int = 1
+) -> Dict[str, float]:
+    """Check Section V-E's invariant over a span's lines.
+
+    Returns the fraction of irregData lines whose RM entry is bank-local
+    under (a) P-OPT's modified block-interleaved mapping and (b) default
+    line striping. The former must be 1.0.
+    """
+    local_modified = 0
+    local_default = 0
+    sampled = 0
+    for line_id in range(0, span.num_lines, sample_stride):
+        addr = span.base + line_id * mapper.line_size
+        sampled += 1
+        if mapper.rm_access_is_bank_local(addr, span.base):
+            local_modified += 1
+        if mapper.default_bank(addr) == mapper.rm_bank(line_id):
+            local_default += 1
+    if sampled == 0:
+        return {"modified": 1.0, "default": 1.0}
+    return {
+        "modified": local_modified / sampled,
+        "default": local_default / sampled,
+    }

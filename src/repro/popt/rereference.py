@@ -1,0 +1,268 @@
+"""The Rereference Matrix: P-OPT's quantized next-reference metadata.
+
+Section IV. The matrix has one row per cache line of the irregularly
+accessed data and one column per *epoch* (a contiguous block of outer-loop
+vertices). Three entry encodings are implemented:
+
+- ``inter_only`` (Fig. 5): each entry is the distance, in epochs, from the
+  current epoch to the epoch of the line's next reference (0 when the line
+  is referenced somewhere in the current epoch). Loses intra-epoch
+  information: after a line's final access within an epoch the entry still
+  reads 0.
+- ``inter_intra`` (Fig. 6 — the default P-OPT design): the MSB selects the
+  meaning of the low bits. MSB=1: no reference this epoch; low bits hold
+  the distance to the next referencing epoch. MSB=0: referenced this epoch;
+  low bits hold the *sub-epoch* of the final access, letting Algorithm 2
+  notice when the execution has already passed the line's last use.
+- ``single_epoch`` (P-OPT-SE, Section VII-B): like ``inter_intra`` but the
+  second MSB records whether the line is accessed in the *next* epoch, so
+  only ONE column must be cache-resident — at the cost of two fewer
+  distance/sub-epoch bits.
+
+Construction is fully vectorized over the edge list (numpy), which is what
+makes Table IV's "preprocessing is ~20% of one PageRank run" hold here too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import PolicyError
+from ..graph.csr import CSRGraph
+
+__all__ = [
+    "RereferenceMatrix",
+    "build_rereference_matrix",
+    "epoch_geometry",
+]
+
+VARIANTS = ("inter_only", "inter_intra", "single_epoch")
+
+
+def epoch_geometry(
+    num_vertices: int, entry_bits: int, variant: str = "inter_intra"
+) -> "tuple[int, int, int]":
+    """Compute (num_epochs, epoch_size, sub_epoch_size).
+
+    With b-bit entries the vertex range quantizes into ``2^b`` epochs
+    (Section V-C: ``EpochSize = ceil(numVertices / 256)`` for b=8); the
+    intra-epoch sub-epoch count is the largest value the remaining low
+    bits can hold (127 for the default design, 63 for P-OPT-SE).
+    """
+    if variant not in VARIANTS:
+        raise PolicyError(f"unknown Rereference Matrix variant {variant!r}")
+    if entry_bits < 3 or entry_bits > 16:
+        raise PolicyError("entry_bits must be in [3, 16]")
+    max_epochs = 1 << entry_bits
+    epoch_size = max(1, -(-num_vertices // max_epochs))  # ceil division
+    num_epochs = -(-num_vertices // epoch_size)
+    field_bits = entry_bits - (2 if variant == "single_epoch" else 1)
+    max_sub = max(1, (1 << field_bits) - 1)
+    sub_epoch_size = max(1, -(-epoch_size // max_sub))
+    return num_epochs, epoch_size, sub_epoch_size
+
+
+@dataclass
+class RereferenceMatrix:
+    """Quantized next-reference metadata for one irregular data structure."""
+
+    entries: np.ndarray          # (num_lines, num_epochs) unsigned
+    variant: str
+    entry_bits: int
+    epoch_size: int
+    sub_epoch_size: int
+    elems_per_line: int
+    num_vertices: int
+
+    def __post_init__(self) -> None:
+        if self.variant not in VARIANTS:
+            raise PolicyError(f"unknown variant {self.variant!r}")
+        self._msb = 1 << (self.entry_bits - 1)
+        if self.variant == "single_epoch":
+            self._next_bit = 1 << (self.entry_bits - 2)
+            self._low_mask = self._next_bit - 1
+        else:
+            self._next_bit = 0
+            self._low_mask = self._msb - 1
+        # Python nested lists beat numpy scalar extraction in the hot path,
+        # but converting huge matrices (fine-grained quantization on big
+        # graphs) would explode memory — fall back to numpy rows there.
+        if self.entries.size <= 4_000_000:
+            self._rows = self.entries.tolist()
+        else:
+            self._rows = self.entries
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def num_lines(self) -> int:
+        return self.entries.shape[0]
+
+    @property
+    def num_epochs(self) -> int:
+        return self.entries.shape[1]
+
+    @property
+    def entry_bytes(self) -> int:
+        return max(1, (self.entry_bits + 7) // 8)
+
+    def column_bytes(self) -> int:
+        """Bytes of one epoch column (what the streaming engine moves)."""
+        return self.num_lines * self.entry_bytes
+
+    def resident_columns(self) -> int:
+        """LLC-resident columns: 2 for the default design (current + next
+        epoch, Section V-A), 1 for P-OPT-SE."""
+        return 1 if self.variant == "single_epoch" else 2
+
+    def resident_bytes(self) -> int:
+        """Bytes that must be pinned in the LLC at any time."""
+        return self.column_bytes() * self.resident_columns()
+
+    def epoch_of(self, vertex: int) -> int:
+        """The epoch of an outer-loop vertex."""
+        return vertex // self.epoch_size
+
+    # ------------------------------------------------------------------
+    # Algorithm 2
+    # ------------------------------------------------------------------
+
+    def find_next_ref(self, line_id: int, curr_vertex: int) -> int:
+        """Distance (in epochs) to the line's next reference.
+
+        This is Algorithm 2 of the paper, generalized over entry widths
+        and the three encodings. Larger return values mean "further in the
+        future"; the sentinel (all low bits set) means no known reference.
+        """
+        epoch_id = curr_vertex // self.epoch_size
+        row = self._rows[line_id]
+        if epoch_id >= len(row):
+            return self._low_mask
+        current = row[epoch_id]
+        if self.variant == "inter_only":
+            return current
+        msb = self._msb
+        low_mask = self._low_mask
+        if current & msb:
+            # Not referenced this epoch; low bits are the epoch distance.
+            return current & low_mask
+        # Referenced this epoch; low bits are the final-access sub-epoch.
+        last_sub_epoch = current & low_mask
+        epoch_offset = curr_vertex - epoch_id * self.epoch_size
+        curr_sub_epoch = epoch_offset // self.sub_epoch_size
+        if curr_sub_epoch <= last_sub_epoch:
+            return 0
+        if self.variant == "single_epoch":
+            # Only the next-epoch bit survives SE's compression: either the
+            # line comes back next epoch (distance 1) or all we know is
+            # "not next epoch" — assume the minimum consistent distance.
+            return 1 if current & self._next_bit else 2
+        if epoch_id + 1 >= len(row):
+            return low_mask
+        next_entry = row[epoch_id + 1]
+        if next_entry & msb:
+            return 1 + (next_entry & low_mask)
+        return 1
+
+    def find_next_ref_vector(
+        self, line_ids: np.ndarray, curr_vertex: int
+    ) -> np.ndarray:
+        """Vectorized :meth:`find_next_ref` (used by tests/benchmarks)."""
+        line_ids = np.asarray(line_ids, dtype=np.int64)
+        return np.array(
+            [self.find_next_ref(int(line), curr_vertex) for line in line_ids],
+            dtype=np.int64,
+        )
+
+
+def build_rereference_matrix(
+    reference_graph: CSRGraph,
+    elems_per_line: int,
+    entry_bits: int = 8,
+    variant: str = "inter_intra",
+    num_lines: Optional[int] = None,
+) -> RereferenceMatrix:
+    """Build the Rereference Matrix from a graph's transpose.
+
+    ``reference_graph`` must be oriented so that ``out_neighbors(v)`` lists
+    the outer-loop vertices whose processing touches irregular element
+    ``v``. For a pull kernel over a CSC, that is the CSR (the transpose);
+    for a push kernel over a CSR, the CSC (Section III-A).
+
+    ``elems_per_line`` is how many irregular elements share a cache line
+    (16 for 4 B elements; 512 for a frontier bit-vector).
+    """
+    if elems_per_line <= 0:
+        raise PolicyError("elems_per_line must be positive")
+    n = reference_graph.num_vertices
+    num_epochs, epoch_size, sub_epoch_size = epoch_geometry(
+        n, entry_bits, variant
+    )
+    if num_lines is None:
+        num_lines = max(1, -(-n // elems_per_line))
+    dtype = np.uint16 if entry_bits > 8 else np.uint8
+
+    # Per-edge reference events: element v is touched at outer vertex d.
+    degrees = reference_graph.degrees()
+    elems = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    outer = reference_graph.neighbors.astype(np.int64)
+    lines = elems // elems_per_line
+    epochs = outer // epoch_size
+    subs = (outer - epochs * epoch_size) // sub_epoch_size
+
+    referenced = np.zeros((num_lines, num_epochs), dtype=bool)
+    last_sub = np.zeros((num_lines, num_epochs), dtype=np.int64)
+    flat = lines * num_epochs + epochs
+    referenced.ravel()[flat] = True
+    np.maximum.at(last_sub.ravel(), flat, subs)
+
+    # Distance (in epochs) from each epoch to the next referencing epoch.
+    # Scan columns right-to-left carrying the next referencing epoch.
+    if variant == "single_epoch":
+        field_bits = entry_bits - 2
+    elif variant == "inter_only":
+        field_bits = entry_bits
+    else:
+        field_bits = entry_bits - 1
+    sentinel = (1 << field_bits) - 1
+    next_epoch = np.full(num_lines, np.iinfo(np.int64).max // 2, np.int64)
+    distance = np.empty((num_lines, num_epochs), dtype=np.int64)
+    for epoch in range(num_epochs - 1, -1, -1):
+        column_referenced = referenced[:, epoch]
+        gap = np.minimum(next_epoch - epoch, sentinel)
+        distance[:, epoch] = np.where(column_referenced, 0, gap)
+        next_epoch = np.where(column_referenced, epoch, next_epoch)
+
+    entries = np.empty((num_lines, num_epochs), dtype=np.int64)
+    if variant == "inter_only":
+        # Entry is the raw distance (0 while the epoch still references).
+        entries[:] = np.minimum(distance, sentinel)
+    else:
+        msb = 1 << (entry_bits - 1)
+        max_sub = sentinel
+        clamped_sub = np.minimum(last_sub, max_sub)
+        # Referenced epochs: MSB=0, low bits = final-access sub-epoch.
+        # Unreferenced epochs: MSB=1, low bits = clamped distance.
+        inter = msb | np.minimum(distance, sentinel)
+        entries[:] = np.where(referenced, clamped_sub, inter)
+        if variant == "single_epoch":
+            next_bit = 1 << (entry_bits - 2)
+            accessed_next = np.zeros((num_lines, num_epochs), dtype=bool)
+            accessed_next[:, :-1] = referenced[:, 1:]
+            entries[:] = np.where(
+                referenced & accessed_next, entries | next_bit, entries
+            )
+    return RereferenceMatrix(
+        entries=entries.astype(dtype),
+        variant=variant,
+        entry_bits=entry_bits,
+        epoch_size=epoch_size,
+        sub_epoch_size=sub_epoch_size,
+        elems_per_line=elems_per_line,
+        num_vertices=n,
+    )

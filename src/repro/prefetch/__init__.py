@@ -1,0 +1,17 @@
+"""Prefetching: baselines and the transpose-driven future-work design."""
+
+from .base import Prefetcher, PrefetchStats
+from .driver import replay_with_prefetcher
+from .indirect import IndirectPrefetcher
+from .simple import NextLinePrefetcher, StridePrefetcher
+from .transpose import TransposePrefetcher
+
+__all__ = [
+    "Prefetcher",
+    "PrefetchStats",
+    "replay_with_prefetcher",
+    "NextLinePrefetcher",
+    "StridePrefetcher",
+    "IndirectPrefetcher",
+    "TransposePrefetcher",
+]

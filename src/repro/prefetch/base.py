@@ -1,0 +1,63 @@
+"""Prefetcher interface and accounting.
+
+Section VIII (Related Work) surveys irregular-data prefetchers (IMP,
+HATS-VO, DROPLET) and closes with: "next references in a graph's
+transpose could also be used for timely prefetching of irregular data. We
+leave the exploration of new prefetching mechanisms derived from the
+Rereference Matrix ... for future work." This package explores exactly
+that: baseline prefetchers (next-line, stride, an IMP-style indirect
+prefetcher) and :class:`~repro.prefetch.transpose.TransposePrefetcher`,
+which turns the transpose's next-reference information into prefetches.
+
+A prefetcher observes every demand access (line address + context) and
+returns line addresses to install into the LLC. The driver installs them
+immediately — an idealized timeliness model, the same idealization the
+paper grants HATS ("assumes no overhead") — and tracks accuracy:
+
+- ``issued``: prefetches that actually installed a new line;
+- ``useful``: installed lines that received a demand access before
+  eviction (coverage = useful / baseline demand misses);
+- ``useless``: installed lines evicted untouched (wasted bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["Prefetcher", "PrefetchStats"]
+
+
+@dataclass
+class PrefetchStats:
+    """Issue/usefulness accounting, maintained by the replay driver."""
+
+    requested: int = 0     # candidate lines the prefetcher proposed
+    issued: int = 0        # installed a line not already resident
+    useful: int = 0        # prefetched line demand-hit before eviction
+    useless: int = 0       # prefetched line evicted untouched
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of issued prefetches that turned out useful."""
+        settled = self.useful + self.useless
+        return self.useful / settled if settled else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "requested": self.requested,
+            "issued": self.issued,
+            "useful": self.useful,
+            "useless": self.useless,
+            "accuracy": round(self.accuracy, 4),
+        }
+
+
+class Prefetcher:
+    """Base class: subclasses override :meth:`observe`."""
+
+    name = "none"
+
+    def observe(self, line_addr: int, ctx) -> List[int]:
+        """React to a demand access; return line addresses to prefetch."""
+        return []

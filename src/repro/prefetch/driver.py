@@ -1,0 +1,70 @@
+"""Replay loop with a prefetcher attached to the LLC.
+
+Prefetches are installed immediately on issue (idealized timeliness — the
+same idealization the paper grants HATS's scheduler) and inserted through
+the LLC's normal fill path, so the replacement policy manages them like
+any other line. Usefulness is settled lazily: a prefetched line's next
+demand access decides useful (hit) vs useless (missed again, i.e. the
+line was evicted untouched); lines never demanded again settle useless at
+the end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..cache.cache import AccessContext
+from ..cache.hierarchy import CacheHierarchy, LEVEL_DRAM
+from ..memory.trace import MemoryTrace
+from .base import Prefetcher, PrefetchStats
+
+__all__ = ["replay_with_prefetcher"]
+
+
+def replay_with_prefetcher(
+    trace: MemoryTrace,
+    hierarchy: CacheHierarchy,
+    prefetcher: Optional[Prefetcher],
+) -> PrefetchStats:
+    """Replay ``trace``, letting ``prefetcher`` install LLC lines."""
+    stats = PrefetchStats()
+    ctx = AccessContext()
+    prefetch_ctx = AccessContext()
+    shift = hierarchy.line_shift
+    lines = (trace.addresses >> shift).tolist()
+    pcs = trace.pcs.tolist()
+    writes = trace.writes.tolist()
+    vertices = trace.vertices.tolist()
+    access_line = hierarchy.access_line
+    llc = hierarchy.llc
+    pending: Dict[int, bool] = {}
+    for index in range(len(lines)):
+        line = lines[index]
+        ctx.pc = pcs[index]
+        ctx.index = index
+        ctx.vertex = vertices[index]
+        ctx.write = writes[index]
+        level = access_line(line, ctx)
+        if line in pending:
+            if level < LEVEL_DRAM:
+                stats.useful += 1
+            else:
+                stats.useless += 1  # evicted before its demand access
+            del pending[line]
+        if prefetcher is None:
+            continue
+        candidates = prefetcher.observe(line, ctx)
+        if not candidates:
+            continue
+        prefetch_ctx.pc = ctx.pc
+        prefetch_ctx.index = index
+        prefetch_ctx.vertex = ctx.vertex
+        for candidate in candidates:
+            stats.requested += 1
+            if candidate in pending:
+                continue
+            if llc.install(candidate, prefetch_ctx):
+                stats.issued += 1
+                pending[candidate] = True
+    stats.useless += len(pending)  # never demanded again
+    return stats

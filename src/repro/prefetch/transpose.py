@@ -1,0 +1,67 @@
+"""Transpose-driven prefetching — the paper's future-work direction.
+
+The transpose tells T-OPT/P-OPT *when a line will be used again*; read the
+other way around, it tells a prefetcher *which lines the upcoming outer
+iterations will use*: pull iteration ``d`` touches ``srcData[s]`` for
+every in-neighbor ``s`` of ``d``, a list sitting right in the CSC. When
+the execution advances to outer vertex ``v``, this prefetcher walks the
+next ``lookahead`` vertices' in-neighbor lists and prefetches their
+irregData lines.
+
+Unlike IMP this needs no value capture or run-ahead in the neighbor
+stream: the structure *is* the prefetch list, the same observation that
+makes T-OPT work. Duplicate suppression keeps it from re-issuing lines
+already prefetched within the window.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..graph.csr import CSRGraph
+from ..memory.layout import ArraySpan
+from .base import Prefetcher
+
+__all__ = ["TransposePrefetcher"]
+
+
+class TransposePrefetcher(Prefetcher):
+    """Prefetch the irregData lines the next outer vertices will touch."""
+
+    name = "transpose"
+
+    def __init__(
+        self,
+        traversal_graph: CSRGraph,
+        target_span: ArraySpan,
+        lookahead: int = 4,
+    ) -> None:
+        """``traversal_graph`` is the structure the kernel scans (the CSC
+        for a pull kernel): ``out_neighbors(d)`` are the elements iteration
+        ``d`` will access."""
+        self.graph = traversal_graph
+        self.target_span = target_span
+        self.lookahead = lookahead
+        self._elems_per_line = target_span.elems_per_line
+        self._base_line = target_span.base >> 6
+        self._last_vertex = -1
+        self._recent: set = set()
+
+    def observe(self, line_addr: int, ctx) -> List[int]:
+        vertex = ctx.vertex
+        if vertex == self._last_vertex:
+            return []
+        self._last_vertex = vertex
+        self._recent.clear()
+        n = self.graph.num_vertices
+        prefetches: List[int] = []
+        for ahead in range(1, self.lookahead + 1):
+            upcoming = vertex + ahead
+            if upcoming >= n:
+                break
+            for element in self.graph.out_neighbors(upcoming):
+                line = self._base_line + int(element) // self._elems_per_line
+                if line not in self._recent:
+                    self._recent.add(line)
+                    prefetches.append(line)
+        return prefetches

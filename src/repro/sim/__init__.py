@@ -1,0 +1,44 @@
+"""Simulation driver, timing model, locality analysis, experiments."""
+
+from .analysis import (
+    ReuseProfile,
+    miss_rate_curve,
+    per_site_reuse_stats,
+    reuse_distances,
+)
+from .driver import (
+    POPT_POLICIES,
+    SimResult,
+    grasp_ranges_for,
+    prepare_dbg_run,
+    prepare_run,
+    replay,
+    simulate,
+    simulate_prepared,
+)
+from .plots import grouped_bars, hbar_chart, sparkline
+from .tables import format_table, table1_rows, table2_rows, table3_rows
+from .timing import TimingModel
+
+__all__ = [
+    "SimResult",
+    "prepare_run",
+    "simulate",
+    "simulate_prepared",
+    "replay",
+    "grasp_ranges_for",
+    "prepare_dbg_run",
+    "POPT_POLICIES",
+    "TimingModel",
+    "ReuseProfile",
+    "reuse_distances",
+    "miss_rate_curve",
+    "per_site_reuse_stats",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "format_table",
+    "hbar_chart",
+    "grouped_bars",
+    "sparkline",
+]

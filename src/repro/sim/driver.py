@@ -1,0 +1,371 @@
+"""Simulation driver: wire an app, a graph, a hierarchy, and a policy.
+
+The driver is where the paper's methodology lives:
+
+1. ``prepare_run`` executes the kernel once, materializing its access
+   trace and irregular-stream descriptors (reusable across policies —
+   the same trace is replayed under every policy being compared).
+2. ``simulate_prepared`` instantiates the requested LLC policy (including
+   T-OPT and the P-OPT variants with their Rereference Matrices and way
+   reservations), replays the trace through the hierarchy, and returns a
+   :class:`SimResult` with per-level stats, MPKI, and modeled cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..apps.base import GraphApp, PreparedRun
+from ..cache.cache import AccessContext
+from ..cache.config import HierarchyConfig
+from ..cache.hierarchy import CacheHierarchy
+from ..cache.stats import MPKI_INSTRUCTIONS_PER_ACCESS, CacheStats
+from ..errors import SimulationError
+from ..graph.csr import CSRGraph
+from ..graph.reorder import DbgLayout, apply_order, dbg_order
+from ..policies.registry import PolicyContext, make_policy
+from ..popt.arch import reserved_ways
+from ..popt.policy import POPT, PoptStream
+from ..popt.rereference import build_rereference_matrix
+from ..popt.topt import TOPT
+from .timing import TimingModel
+
+__all__ = [
+    "SimResult",
+    "prepare_run",
+    "simulate_prepared",
+    "simulate",
+    "replay",
+    "grasp_ranges_for",
+    "prepare_dbg_run",
+    "POPT_POLICIES",
+]
+
+#: Policy names handled by the driver itself rather than the registry.
+POPT_POLICIES = ("T-OPT", "P-OPT", "P-OPT-Inter", "P-OPT-SE")
+
+
+@dataclass
+class SimResult:
+    """Outcome of replaying one prepared run under one policy."""
+
+    app_name: str
+    policy_name: str
+    levels: List[CacheStats]
+    level_counts: List[int]
+    num_accesses: int
+    instructions: int
+    cycles: float
+    reserved_llc_ways: int = 0
+    popt_counters: Optional[Dict[str, float]] = None
+    preprocessing_seconds: float = 0.0
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def llc(self) -> CacheStats:
+        return self.levels[-1]
+
+    @property
+    def llc_mpki(self) -> float:
+        return self.llc.mpki(self.instructions)
+
+    @property
+    def llc_miss_rate(self) -> float:
+        return self.llc.miss_rate
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """Modeled speedup of this run relative to ``baseline``."""
+        return baseline.cycles / self.cycles if self.cycles else float("inf")
+
+    def miss_reduction_over(self, baseline: "SimResult") -> float:
+        """Relative LLC miss reduction vs ``baseline`` (positive = fewer)."""
+        if baseline.llc.misses == 0:
+            return 0.0
+        return 1.0 - self.llc.misses / baseline.llc.misses
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "app": self.app_name,
+            "policy": self.policy_name,
+            "llc_miss_rate": round(self.llc_miss_rate, 4),
+            "llc_mpki": round(self.llc_mpki, 3),
+            "cycles": int(self.cycles),
+            "reserved_ways": self.reserved_llc_ways,
+        }
+
+
+def prepare_run(app: GraphApp, graph: CSRGraph, **params) -> PreparedRun:
+    """Execute the kernel and materialize its trace (policy-independent)."""
+    return app.prepare(graph, **params)
+
+
+def replay(trace, hierarchy: CacheHierarchy) -> None:
+    """Replay a trace through the hierarchy (the simulator's hot loop)."""
+    ctx = AccessContext()
+    shift = hierarchy.line_shift
+    lines = (trace.addresses >> shift).tolist()
+    pcs = trace.pcs.tolist()
+    writes = trace.writes.tolist()
+    vertices = trace.vertices.tolist()
+    access_line = hierarchy.access_line
+    for index in range(len(lines)):
+        ctx.pc = pcs[index]
+        ctx.index = index
+        ctx.vertex = vertices[index]
+        ctx.write = writes[index]
+        access_line(lines[index], ctx)
+
+
+def llc_filtered_next_use(trace, hierarchy_config: HierarchyConfig) -> np.ndarray:
+    """Next-use indices over the accesses that actually reach the LLC.
+
+    Replays the trace through fresh L1/L2 caches (Bit-PLRU, deterministic,
+    identical to what the measured run will contain) to find which accesses
+    miss both private levels, then scans backwards so that every access's
+    stored value is the index of the line's next *LLC-visible* access
+    (``len(trace)`` when there is none).
+    """
+    from ..cache.cache import SetAssociativeCache
+    from ..policies.plru import BitPLRU
+
+    n = len(trace)
+    shift = hierarchy_config.line_size.bit_length() - 1
+    lines = (trace.addresses >> shift).tolist()
+    reaches_llc = [True] * n
+    levels = [
+        SetAssociativeCache(cfg, BitPLRU())
+        for cfg in (hierarchy_config.l1, hierarchy_config.l2)
+        if cfg is not None
+    ]
+    if levels:
+        ctx = AccessContext()
+        for index in range(n):
+            ctx.index = index
+            line = lines[index]
+            hit = False
+            for level in levels:
+                if level.access(line, ctx):
+                    hit = True
+                    break
+            reaches_llc[index] = not hit
+    next_use = np.full(n, n, dtype=np.int64)
+    last_seen: Dict[int, int] = {}
+    for index in range(n - 1, -1, -1):
+        if not reaches_llc[index]:
+            continue
+        line = lines[index]
+        seen = last_seen.get(line)
+        if seen is not None:
+            next_use[index] = seen
+        last_seen[line] = index
+    return next_use
+
+
+def _build_popt_policy(
+    prepared: PreparedRun,
+    variant: str,
+    entry_bits: int,
+    line_size: int,
+) -> Tuple[POPT, float]:
+    """Instantiate P-OPT with per-stream Rereference Matrices."""
+    start = time.perf_counter()
+    streams = []
+    for irregular in prepared.irregular_streams:
+        matrix = build_rereference_matrix(
+            irregular.reference_graph,
+            elems_per_line=irregular.span.elems_per_line,
+            entry_bits=entry_bits,
+            variant=variant,
+            num_lines=irregular.span.num_lines,
+        )
+        streams.append(PoptStream(span=irregular.span, matrix=matrix))
+    elapsed = time.perf_counter() - start
+    return POPT(streams, line_size=line_size), elapsed
+
+
+def simulate_prepared(
+    prepared: PreparedRun,
+    policy_name: str,
+    hierarchy_config: HierarchyConfig,
+    entry_bits: int = 8,
+    account_capacity: bool = True,
+    timing: Optional[TimingModel] = None,
+    policy_context: Optional[PolicyContext] = None,
+) -> SimResult:
+    """Replay a prepared run under the named LLC policy.
+
+    ``account_capacity=True`` applies P-OPT's way reservation (the
+    Rereference Matrix columns consume LLC ways); ``False`` gives the
+    limit-study configuration of Fig. 15.
+    """
+    line_size = hierarchy_config.line_size
+    reserved = 0
+    preprocessing = 0.0
+    popt_policy: Optional[POPT] = None
+
+    if policy_name == "T-OPT":
+        llc_policy = TOPT(prepared.irregular_streams, line_size=line_size)
+    elif policy_name in ("P-OPT", "P-OPT-Inter", "P-OPT-SE"):
+        variant = {
+            "P-OPT": "inter_intra",
+            "P-OPT-Inter": "inter_only",
+            "P-OPT-SE": "single_epoch",
+        }[policy_name]
+        popt_policy, preprocessing = _build_popt_policy(
+            prepared, variant, entry_bits, line_size
+        )
+        llc_policy = popt_policy
+        if account_capacity:
+            resident = popt_policy.resident_bytes()
+            fraction = prepared.details.get("resident_fraction", 1.0)
+            resident = int(resident * fraction)
+            reserved = reserved_ways(resident, hierarchy_config.llc)
+    else:
+        ctx = policy_context if policy_context is not None else PolicyContext()
+        ctx.trace = prepared.trace
+        ctx.layout = prepared.layout
+        if policy_name == "OPT" and ctx.next_use is None:
+            # Belady at the LLC must rank lines by their next *LLC* access:
+            # accesses absorbed by L1/L2 never reach it, so next-use is
+            # computed over the LLC-visible subsequence (found by replaying
+            # the private levels, which are policy-independent).
+            ctx.next_use = llc_filtered_next_use(
+                prepared.trace, hierarchy_config
+            )
+        llc_policy = make_policy(policy_name, ctx)
+
+    llc_config = hierarchy_config.llc
+    if reserved:
+        remaining = llc_config.num_ways - reserved
+        if remaining < 1:
+            raise SimulationError(
+                f"{policy_name}: Rereference Matrix needs {reserved} of "
+                f"{llc_config.num_ways} LLC ways; nothing left for data"
+            )
+        llc_config = llc_config.with_ways(remaining)
+
+    effective_config = HierarchyConfig(
+        llc=llc_config,
+        l1=hierarchy_config.l1,
+        l2=hierarchy_config.l2,
+        dram_latency_ns=hierarchy_config.dram_latency_ns,
+        frequency_ghz=hierarchy_config.frequency_ghz,
+        num_nuca_banks=hierarchy_config.num_nuca_banks,
+    )
+    hierarchy = CacheHierarchy(effective_config, llc_policy)
+    replay(prepared.trace, hierarchy)
+
+    num_accesses = len(prepared.trace)
+    instructions = int(round(num_accesses * MPKI_INSTRUCTIONS_PER_ACCESS))
+    model = timing if timing is not None else TimingModel(hierarchy_config)
+    counters = (
+        popt_policy.counters.as_dict() if popt_policy is not None else None
+    )
+    cycles = model.cycles(
+        level_counts=hierarchy.level_counts,
+        instructions=instructions,
+        popt_bytes_streamed=(
+            popt_policy.counters.bytes_streamed if popt_policy else 0
+        ),
+        popt_rm_lookups=(
+            popt_policy.counters.rm_lookups if popt_policy else 0
+        ),
+        llc_writebacks=hierarchy.llc.stats.writebacks,
+    )
+    return SimResult(
+        app_name=prepared.app_name,
+        policy_name=policy_name,
+        levels=[
+            CacheStats(
+                name=s.name,
+                accesses=s.accesses,
+                hits=s.hits,
+                misses=s.misses,
+                evictions=s.evictions,
+                writebacks=s.writebacks,
+            )
+            for s in hierarchy.all_stats()
+        ],
+        level_counts=list(hierarchy.level_counts),
+        num_accesses=num_accesses,
+        instructions=instructions,
+        cycles=cycles,
+        reserved_llc_ways=reserved,
+        popt_counters=counters,
+        preprocessing_seconds=preprocessing,
+        details=dict(prepared.details),
+    )
+
+
+def simulate(
+    app: GraphApp,
+    graph: CSRGraph,
+    policy_name: str,
+    hierarchy_config: HierarchyConfig,
+    **kwargs,
+) -> SimResult:
+    """Convenience: prepare and simulate in one call."""
+    prepared = prepare_run(app, graph)
+    return simulate_prepared(
+        prepared, policy_name, hierarchy_config, **kwargs
+    )
+
+
+# ----------------------------------------------------------------------
+# GRASP support (Fig. 12a)
+# ----------------------------------------------------------------------
+
+
+def grasp_ranges_for(
+    prepared: PreparedRun,
+    layout_info: DbgLayout,
+    line_size: int = 64,
+    llc_data_lines: Optional[int] = None,
+    hot_fraction: float = 0.75,
+    warm_factor: float = 2.0,
+) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+    """GRASP's hot/warm line-address ranges over DBG-ordered vertex data.
+
+    GRASP sizes its protected region relative to cache capacity: the hot
+    range is the highest-degree prefix of the DBG-ordered vertex array
+    that fits in ``hot_fraction`` of the LLC's data lines; the warm range
+    covers the next ``warm_factor`` x LLC lines. Group boundaries cap the
+    prefix so only genuinely above-average-degree vertices are protected.
+    """
+    span = prepared.irregular_streams[0].span
+    base_line = span.base // line_size
+    bounds = layout_info.group_bounds
+    if llc_data_lines is None:
+        llc_data_lines = span.num_lines // 4 or 1
+    # Hot prefix: capacity-sized, but never past the below-average group.
+    above_average_vertices = bounds[-2] if len(bounds) > 2 else bounds[-1]
+    above_average_lines = -(-above_average_vertices // span.elems_per_line)
+    hot_lines = min(
+        int(hot_fraction * llc_data_lines),
+        max(above_average_lines, 1),
+        span.num_lines,
+    )
+    warm_lines = min(
+        hot_lines + int(warm_factor * llc_data_lines), span.num_lines
+    )
+    hot = (base_line, base_line + hot_lines)
+    warm = (base_line + hot_lines, base_line + warm_lines)
+    return hot, warm
+
+
+def prepare_dbg_run(
+    app: GraphApp, graph: CSRGraph, num_groups: int = 8, **params
+) -> Tuple[PreparedRun, DbgLayout]:
+    """Reorder the graph with DBG and prepare the run on it.
+
+    Both GRASP and the policies it is compared against run on the
+    DBG-ordered graph, matching Fig. 12(a)'s methodology.
+    """
+    layout_info = dbg_order(graph, num_groups=num_groups)
+    reordered = apply_order(graph, layout_info.new_ids)
+    prepared = prepare_run(app, reordered, **params)
+    return prepared, layout_info

@@ -1,0 +1,114 @@
+"""Plain-text charts for experiment rows (no plotting dependencies).
+
+The benchmark harnesses return lists of dict rows; these helpers render
+them as horizontal bar charts or grouped bars in a terminal, used by the
+CLI's ``experiment`` command and the examples. Only stdlib string
+formatting — output is deterministic and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["hbar_chart", "grouped_bars", "sparkline"]
+
+#: Eighth-block characters for sub-cell bar resolution.
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, maximum: float, width: int) -> str:
+    if maximum <= 0:
+        return ""
+    fraction = max(0.0, min(1.0, value / maximum))
+    cells = fraction * width
+    full = int(cells)
+    remainder = int((cells - full) * 8)
+    bar = "█" * full
+    if remainder and full < width:
+        bar += _BLOCKS[remainder]
+    return bar
+
+
+def hbar_chart(
+    rows: Sequence[Dict[str, object]],
+    label_key: str,
+    value_key: str,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """One horizontal bar per row.
+
+    Negative values render with a leading ``-`` marker (miss *increases*
+    in comparison charts).
+    """
+    values = [float(row[value_key]) for row in rows]
+    labels = [str(row[label_key]) for row in rows]
+    if not values:
+        return f"{title}\n(empty)"
+    maximum = max(abs(v) for v in values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = _bar(abs(value), maximum, width)
+        sign = "-" if value < 0 else " "
+        lines.append(
+            f"{label.ljust(label_width)} |{sign}{bar:<{width}}| "
+            f"{value:.3f}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    rows: Sequence[Dict[str, object]],
+    label_key: str,
+    value_keys: Sequence[str],
+    width: int = 32,
+    title: str = "",
+) -> str:
+    """Several bars per row (one per value key), grouped under the label."""
+    if not rows:
+        return f"{title}\n(empty)"
+    numeric = [
+        [
+            float(row[key])
+            for key in value_keys
+            if isinstance(row.get(key), (int, float))
+        ]
+        for row in rows
+    ]
+    flat = [abs(v) for values in numeric for v in values]
+    maximum = max(flat) if flat else 1.0
+    key_width = max(len(str(k)) for k in value_keys)
+    lines = [title] if title else []
+    for row in rows:
+        lines.append(str(row[label_key]))
+        for key in value_keys:
+            value = row.get(key)
+            if not isinstance(value, (int, float)):
+                continue
+            bar = _bar(abs(float(value)), maximum, width)
+            sign = "-" if value < 0 else " "
+            lines.append(
+                f"  {str(key).ljust(key_width)} |{sign}{bar:<{width}}| "
+                f"{float(value):.3f}"
+            )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line trend (used for miss-rate curves)."""
+    if not values:
+        return ""
+    levels = "▁▂▃▄▅▆▇█"
+    low = min(values)
+    high = max(values)
+    span = (high - low) or 1.0
+    return "".join(
+        levels[
+            min(
+                len(levels) - 1,
+                int((value - low) / span * (len(levels) - 1)),
+            )
+        ]
+        for value in values
+    )

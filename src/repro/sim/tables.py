@@ -1,0 +1,97 @@
+"""The paper's setup tables (I-III) as data, plus plain-text rendering."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..cache.config import HierarchyConfig, paper_table1
+from ..graph.datasets import paper_table3
+
+__all__ = [
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "format_table",
+]
+
+
+def table1_rows(config: HierarchyConfig = None) -> List[Dict[str, object]]:
+    """Table I: simulation parameters (defaults = the paper's machine)."""
+    if config is None:
+        config = paper_table1()
+    rows = []
+    if config.l1 is not None:
+        rows.append(
+            {
+                "component": "L1(D/I)",
+                "geometry": f"{config.l1.capacity_bytes // 1024}KB, "
+                f"{config.l1.num_ways}-way",
+                "policy": "Bit-PLRU",
+                "latency": f"{config.l1.load_to_use_cycles} cycles",
+            }
+        )
+    if config.l2 is not None:
+        rows.append(
+            {
+                "component": "L2",
+                "geometry": f"{config.l2.capacity_bytes // 1024}KB, "
+                f"{config.l2.num_ways}-way",
+                "policy": "Bit-PLRU",
+                "latency": f"{config.l2.load_to_use_cycles} cycles",
+            }
+        )
+    rows.append(
+        {
+            "component": "LLC",
+            "geometry": f"{config.llc.capacity_bytes // 1024}KB, "
+            f"{config.llc.num_ways}-way",
+            "policy": "DRRIP",
+            "latency": f"{config.llc.load_to_use_cycles} cycles",
+        }
+    )
+    rows.append(
+        {
+            "component": "DRAM",
+            "geometry": "-",
+            "policy": "-",
+            "latency": f"{config.dram_latency_ns}ns "
+            f"({config.dram_latency_cycles} cycles)",
+        }
+    )
+    return rows
+
+
+def table2_rows() -> List[Dict[str, object]]:
+    """Table II: applications and their access properties."""
+    from ..apps import PAPER_APPS
+
+    return [app_cls().info.as_row() for app_cls in PAPER_APPS]
+
+
+def table3_rows() -> List[Dict[str, object]]:
+    """Table III: input graphs (paper-scale metadata)."""
+    return paper_table3()
+
+
+def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render dict rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(empty)"
+    columns = list(rows[0].keys())
+    widths = {
+        column: max(
+            len(str(column)), *(len(str(row.get(column, ""))) for row in rows)
+        )
+        for column in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)

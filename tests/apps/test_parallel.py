@@ -1,0 +1,116 @@
+"""Tests for epoch-serial parallel execution (Section V-F)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import PageRank
+from repro.apps.parallel import (
+    epoch_serial_parallel_order,
+    main_thread_vertex_channel,
+)
+from repro.cache import CacheConfig, HierarchyConfig
+from repro.errors import SimulationError
+from repro.graph import uniform_random
+from repro.popt.rereference import epoch_geometry
+from repro.sim import prepare_run, simulate_prepared
+
+
+class TestParallelOrder:
+    def test_is_permutation(self):
+        order = epoch_serial_parallel_order(
+            1000, epoch_size=100, num_threads=4
+        )
+        assert sorted(order.tolist()) == list(range(1000))
+
+    def test_epochs_strictly_ordered(self):
+        order = epoch_serial_parallel_order(
+            1000, epoch_size=100, num_threads=4
+        )
+        epochs = order // 100
+        assert (np.diff(epochs) >= 0).all()
+
+    def test_single_thread_is_identity(self):
+        order = epoch_serial_parallel_order(
+            64, epoch_size=16, num_threads=1
+        )
+        assert order.tolist() == list(range(64))
+
+    def test_threads_interleave_within_epoch(self):
+        order = epoch_serial_parallel_order(
+            64, epoch_size=64, num_threads=2, chunk=8
+        )
+        # First round: thread 0's chunk [0..8), then thread 1's [8..16).
+        assert order[:16].tolist() == list(range(16))
+        # Second round starts at thread 0's second chunk (16).
+        assert order[16] == 16
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            epoch_serial_parallel_order(10, epoch_size=0, num_threads=2)
+        with pytest.raises(SimulationError):
+            epoch_serial_parallel_order(10, epoch_size=4, num_threads=0)
+
+    def test_empty(self):
+        assert len(
+            epoch_serial_parallel_order(0, epoch_size=4, num_threads=2)
+        ) == 0
+
+
+class TestMainThreadChannel:
+    def test_main_thread_values_monotonic_within_epoch(self):
+        graph = uniform_random(1024, avg_degree=8.0, seed=9)
+        __, epoch_size, __ = epoch_geometry(graph.num_vertices, 8)
+        order = epoch_serial_parallel_order(
+            graph.num_vertices, epoch_size, num_threads=4
+        )
+        prepared = prepare_run(PageRank(), graph, order=order)
+        parallel = main_thread_vertex_channel(
+            prepared.trace, epoch_size, num_threads=4
+        )
+        vertices = parallel.vertices.astype(np.int64)
+        epochs = vertices // epoch_size
+        assert (np.diff(epochs) >= 0).all()
+        # Within an epoch, the published currVertex never goes backwards.
+        for epoch in np.unique(epochs)[:4]:
+            values = vertices[epochs == epoch]
+            assert (np.diff(values) >= 0).all()
+
+    def test_addresses_untouched(self):
+        graph = uniform_random(256, avg_degree=4.0, seed=9)
+        prepared = prepare_run(PageRank(), graph)
+        parallel = main_thread_vertex_channel(
+            prepared.trace, epoch_size=16, num_threads=2
+        )
+        assert np.array_equal(
+            parallel.addresses, prepared.trace.addresses
+        )
+
+
+class TestParallelPOPT:
+    def test_parallel_miss_rate_close_to_serial(self):
+        """The paper's Section V-F claim: sharing the main thread's
+        currVertex gives multi-threaded P-OPT runs LLC miss rates similar
+        to serial ones."""
+        graph = uniform_random(4096, avg_degree=8.0, seed=10)
+        hierarchy = HierarchyConfig(
+            l1=CacheConfig("L1", num_sets=2, num_ways=8),
+            l2=CacheConfig("L2", num_sets=4, num_ways=8),
+            llc=CacheConfig("LLC", num_sets=8, num_ways=16),
+        )
+        serial = prepare_run(PageRank(), graph)
+        serial_result = simulate_prepared(serial, "P-OPT", hierarchy)
+
+        __, epoch_size, __ = epoch_geometry(graph.num_vertices, 8)
+        chunk = max(1, epoch_size // 32)
+        order = epoch_serial_parallel_order(
+            graph.num_vertices, epoch_size, num_threads=8, chunk=chunk
+        )
+        parallel = prepare_run(PageRank(), graph, order=order)
+        parallel.trace = main_thread_vertex_channel(
+            parallel.trace, epoch_size, num_threads=8, chunk=chunk
+        )
+        parallel_result = simulate_prepared(parallel, "P-OPT", hierarchy)
+
+        assert parallel_result.llc_miss_rate == pytest.approx(
+            serial_result.llc_miss_rate, abs=0.08
+        )

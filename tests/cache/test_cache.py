@@ -1,0 +1,148 @@
+"""Unit tests for the set-associative cache core."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import AccessContext, CacheConfig, SetAssociativeCache
+from repro.errors import CacheConfigError, PolicyError
+from repro.policies import LRU, BitPLRU, RandomReplacement
+
+
+def make_cache(num_sets=4, num_ways=2, policy=None):
+    cfg = CacheConfig("test", num_sets=num_sets, num_ways=num_ways)
+    return SetAssociativeCache(cfg, policy if policy else LRU())
+
+
+class TestConfig:
+    def test_capacity(self):
+        cfg = CacheConfig("x", num_sets=16, num_ways=4)
+        assert cfg.capacity_bytes == 16 * 4 * 64
+        assert cfg.way_bytes == 16 * 64
+
+    def test_non_power_of_two_sets_use_modulo(self):
+        # Paper footnote 3: non-power-of-two set counts index by modulo.
+        cfg = CacheConfig("x", num_sets=12, num_ways=4)
+        assert cfg.set_index(13) == 1
+        with pytest.raises(CacheConfigError):
+            CacheConfig("x", num_sets=0, num_ways=4)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(CacheConfigError):
+            CacheConfig("x", num_sets=4, num_ways=0)
+
+    def test_rejects_bad_line_size(self):
+        with pytest.raises(CacheConfigError):
+            CacheConfig("x", num_sets=4, num_ways=2, line_size=100)
+
+    def test_with_ways(self):
+        cfg = CacheConfig("x", num_sets=4, num_ways=16)
+        assert cfg.with_ways(14).num_ways == 14
+        assert cfg.with_ways(14).num_sets == 4
+
+    def test_set_index(self):
+        cfg = CacheConfig("x", num_sets=8, num_ways=2)
+        assert cfg.set_index(0) == 0
+        assert cfg.set_index(9) == 1
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        ctx = AccessContext()
+        assert cache.access(100, ctx) is False
+        assert cache.access(100, ctx) is True
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_set_conflict_eviction(self):
+        cache = make_cache(num_sets=1, num_ways=2)
+        ctx = AccessContext()
+        cache.access(0, ctx)
+        cache.access(1, ctx)
+        cache.access(2, ctx)  # evicts line 0 under LRU
+        assert cache.access(1, ctx) is True
+        assert cache.access(0, ctx) is False
+        assert cache.stats.evictions >= 1
+
+    def test_different_sets_no_conflict(self):
+        cache = make_cache(num_sets=4, num_ways=1)
+        ctx = AccessContext()
+        for line in range(4):
+            cache.access(line, ctx)
+        for line in range(4):
+            assert cache.access(line, ctx) is True
+
+    def test_probe_does_not_mutate(self):
+        cache = make_cache()
+        ctx = AccessContext()
+        cache.access(5, ctx)
+        hits_before = cache.stats.hits
+        assert cache.probe(5) is True
+        assert cache.probe(6) is False
+        assert cache.stats.hits == hits_before
+
+    def test_dirty_tracking_and_writeback(self):
+        cache = make_cache(num_sets=1, num_ways=1)
+        ctx = AccessContext()
+        ctx.write = True
+        cache.access(0, ctx)
+        ctx.write = False
+        cache.access(1, ctx)  # evict dirty line 0
+        assert cache.stats.writebacks == 1
+
+    def test_flush(self):
+        cache = make_cache()
+        ctx = AccessContext()
+        cache.access(3, ctx)
+        cache.flush()
+        assert cache.probe(3) is False
+        assert cache.occupancy() == 0.0
+
+    def test_occupancy(self):
+        cache = make_cache(num_sets=2, num_ways=2)
+        ctx = AccessContext()
+        cache.access(0, ctx)
+        cache.access(1, ctx)
+        assert cache.occupancy() == pytest.approx(0.5)
+
+    def test_invalid_victim_rejected(self):
+        class BadPolicy(LRU):
+            def choose_victim(self, set_idx, ctx):
+                return 99
+
+        cache = make_cache(num_sets=1, num_ways=1, policy=BadPolicy())
+        ctx = AccessContext()
+        cache.access(0, ctx)
+        with pytest.raises(PolicyError):
+            cache.access(1, ctx)
+
+
+class TestInclusionOfAllPolicies:
+    @pytest.mark.parametrize(
+        "policy_factory", [LRU, BitPLRU, RandomReplacement]
+    )
+    def test_working_set_fits(self, policy_factory):
+        # Any sane policy keeps a working set that fits in the cache.
+        cache = make_cache(num_sets=4, num_ways=4, policy=policy_factory())
+        ctx = AccessContext()
+        lines = list(range(16))
+        for _ in range(3):
+            for line in lines:
+                cache.access(line, ctx)
+        # After warmup, everything hits.
+        assert all(cache.probe(line) for line in lines)
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=400))
+    @settings(max_examples=30, deadline=None)
+    def test_stats_invariants_random_stream(self, lines):
+        cache = make_cache(num_sets=4, num_ways=2)
+        ctx = AccessContext()
+        for line in lines:
+            cache.access(line, ctx)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses == len(lines)
+        assert stats.evictions <= stats.misses
+        resident = cache.resident_lines()
+        assert len(resident) == len(set(resident))  # no duplicate tags
+        assert len(resident) <= 8

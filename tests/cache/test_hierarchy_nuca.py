@@ -1,0 +1,132 @@
+"""Tests for the multi-level hierarchy and NUCA bank mapping."""
+
+import pytest
+
+from repro.cache import (
+    AccessContext,
+    BankMapper,
+    CacheConfig,
+    CacheHierarchy,
+    HierarchyConfig,
+    LEVEL_DRAM,
+    LEVEL_L1,
+    LEVEL_L2,
+    LEVEL_LLC,
+    paper_table1,
+    scaled_hierarchy,
+)
+from repro.errors import CacheConfigError
+from repro.memory import AddressSpace
+from repro.policies import LRU
+from repro.popt.arch import nuca_locality_report
+
+
+def tiny_hierarchy():
+    return HierarchyConfig(
+        l1=CacheConfig("L1", num_sets=2, num_ways=2),
+        l2=CacheConfig("L2", num_sets=4, num_ways=2),
+        llc=CacheConfig("LLC", num_sets=8, num_ways=2),
+    )
+
+
+class TestHierarchy:
+    def test_miss_everywhere_then_l1_hit(self):
+        h = CacheHierarchy(tiny_hierarchy(), LRU())
+        ctx = AccessContext()
+        assert h.access(0, ctx) == LEVEL_DRAM
+        assert h.access(0, ctx) == LEVEL_L1
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = CacheHierarchy(tiny_hierarchy(), LRU())
+        ctx = AccessContext()
+        # L1 has 2 sets x 2 ways; five lines mapping to set 0 evict line 0
+        # from L1 but not from the larger L2.
+        for line in [0, 2, 4, 6, 8]:
+            h.access(line << 6, ctx)
+        level = h.access(0, ctx)
+        assert level in (LEVEL_L2, LEVEL_LLC)
+        assert level != LEVEL_DRAM
+
+    def test_level_counts_sum(self):
+        h = CacheHierarchy(tiny_hierarchy(), LRU())
+        ctx = AccessContext()
+        for i in range(100):
+            h.access((i % 13) << 6, ctx)
+        assert sum(h.level_counts) == 100
+
+    def test_llc_only_mode(self):
+        config = HierarchyConfig(
+            llc=CacheConfig("LLC", num_sets=8, num_ways=2)
+        )
+        h = CacheHierarchy(config, LRU())
+        ctx = AccessContext()
+        assert h.access(0, ctx) == LEVEL_DRAM
+        assert h.access(0, ctx) == LEVEL_LLC
+        assert h.l1 is None and h.l2 is None
+
+    def test_line_sharing(self):
+        h = CacheHierarchy(tiny_hierarchy(), LRU())
+        ctx = AccessContext()
+        h.access(100, ctx)
+        assert h.access(101, ctx) == LEVEL_L1  # same 64 B line
+
+    def test_mismatched_line_sizes_rejected(self):
+        with pytest.raises(CacheConfigError):
+            HierarchyConfig(
+                l1=CacheConfig("L1", num_sets=2, num_ways=2, line_size=32),
+                llc=CacheConfig("LLC", num_sets=4, num_ways=2),
+            )
+
+    def test_paper_table1_geometry(self):
+        config = paper_table1()
+        assert config.l1.capacity_bytes == 32 * 1024
+        assert config.l2.capacity_bytes == 256 * 1024
+        assert config.llc.capacity_bytes == 8 * 3 * 1024 * 1024
+        assert config.llc.num_ways == 16
+        assert config.dram_latency_cycles == 392  # 173 ns * 2.266 GHz
+
+    def test_scaled_profiles_monotonic(self):
+        sizes = [
+            scaled_hierarchy(s).llc.capacity_bytes
+            for s in ("tiny", "small", "medium", "large")
+        ]
+        assert sizes == sorted(sizes)
+        with pytest.raises(CacheConfigError):
+            scaled_hierarchy("galactic")
+
+
+class TestNUCA:
+    def test_default_striping(self):
+        mapper = BankMapper(num_banks=8)
+        banks = [mapper.default_bank(line * 64) for line in range(16)]
+        assert banks == [b % 8 for b in range(16)]
+
+    def test_modified_mapping_is_block_interleaved(self):
+        mapper = BankMapper(num_banks=8)
+        base = 1 << 30
+        # All 64 lines of a block map to one bank.
+        first = mapper.irreg_bank(base, base)
+        for line in range(64):
+            assert mapper.irreg_bank(base + line * 64, base) == first
+        assert mapper.irreg_bank(base + 64 * 64, base) == (first + 1) % 8
+
+    def test_rm_locality_invariant(self):
+        # Section V-E: under the modified mapping every irregData line's
+        # RM entry is bank-local; under default striping almost none are.
+        mapper = BankMapper(num_banks=8)
+        space = AddressSpace()
+        span = space.alloc("irregData", 64 * 1024, 32, irregular=True)
+        report = nuca_locality_report(mapper, span)
+        assert report["modified"] == 1.0
+        assert report["default"] < 0.25
+
+    def test_single_bank_always_local(self):
+        mapper = BankMapper(num_banks=1)
+        space = AddressSpace()
+        span = space.alloc("irregData", 4096, 32, irregular=True)
+        report = nuca_locality_report(mapper, span)
+        assert report["default"] == 1.0
+
+    def test_rejects_bad_banks(self):
+        with pytest.raises(CacheConfigError):
+            BankMapper(num_banks=0)

@@ -1,0 +1,108 @@
+"""Tests for the multi-core shared-LLC model."""
+
+import numpy as np
+import pytest
+
+from repro.apps import PageRank, epoch_serial_parallel_order
+from repro.cache import AccessContext, CacheConfig, HierarchyConfig
+from repro.cache.multicore import MultiCoreHierarchy, replay_multicore
+from repro.errors import CacheConfigError
+from repro.graph import uniform_random
+from repro.memory.trace import MemoryTrace
+from repro.policies import DRRIP, LRU
+from repro.popt.rereference import epoch_geometry
+from repro.sim import prepare_run, simulate_prepared
+
+
+def tiny_config():
+    return HierarchyConfig(
+        l1=CacheConfig("L1", num_sets=2, num_ways=2),
+        l2=CacheConfig("L2", num_sets=4, num_ways=2),
+        llc=CacheConfig("LLC", num_sets=8, num_ways=4),
+    )
+
+
+def make_trace(lines, vertices=None):
+    n = len(lines)
+    return MemoryTrace(
+        addresses=np.asarray(lines, np.int64) * 64,
+        pcs=np.ones(n, np.uint8),
+        writes=np.zeros(n, bool),
+        vertices=np.asarray(
+            vertices if vertices is not None else [0] * n, np.int32
+        ),
+    )
+
+
+class TestMultiCore:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(CacheConfigError):
+            MultiCoreHierarchy(tiny_config(), LRU(), num_cores=0)
+
+    def test_private_caches_isolated(self):
+        h = MultiCoreHierarchy(tiny_config(), LRU(), num_cores=2)
+        ctx = AccessContext()
+        h.access(0, 0, ctx)
+        # Core 1 misses its own (cold) L1 even though core 0 has the line;
+        # the shared LLC serves it.
+        level = h.access(1, 0, ctx)
+        assert level == 3  # LLC hit, not L1
+
+    def test_shared_llc(self):
+        h = MultiCoreHierarchy(tiny_config(), LRU(), num_cores=2)
+        ctx = AccessContext()
+        assert h.access(0, 4096, ctx) == 4  # DRAM
+        assert h.access(1, 4096, ctx) == 3  # LLC (filled by core 0)
+
+    def test_replay_consumes_everything(self):
+        h = MultiCoreHierarchy(tiny_config(), LRU(), num_cores=3)
+        traces = [
+            make_trace(list(range(i, 50 + i))) for i in range(3)
+        ]
+        replay_multicore(traces, h, chunk=8)
+        assert sum(h.level_counts) == sum(len(t) for t in traces)
+
+    def test_uneven_trace_lengths(self):
+        h = MultiCoreHierarchy(tiny_config(), LRU(), num_cores=2)
+        traces = [make_trace([1, 2, 3]), make_trace(list(range(40)))]
+        replay_multicore(traces, h, chunk=4)
+        assert sum(h.level_counts) == 43
+
+    def test_multicore_popt_close_to_serial(self):
+        """8 cores sharing a P-OPT LLC under epoch-serial scheduling land
+        near the single-stream miss rate (the Table I configuration)."""
+        graph = uniform_random(4096, avg_degree=8.0, seed=12)
+        config = tiny_config()
+        serial = prepare_run(PageRank(), graph)
+        serial_result = simulate_prepared(serial, "P-OPT", config)
+
+        # Deal each epoch's chunks to 4 cores, then give each core its
+        # own sub-trace (its chunks, in order).
+        __, epoch_size, __ = epoch_geometry(graph.num_vertices, 8)
+        num_cores = 4
+        per_core_orders = [[] for _ in range(num_cores)]
+        for epoch_start in range(0, graph.num_vertices, epoch_size):
+            vertices = list(
+                range(
+                    epoch_start,
+                    min(epoch_start + epoch_size, graph.num_vertices),
+                )
+            )
+            chunks = [vertices[i:i + 4] for i in range(0, len(vertices), 4)]
+            for i, chunk_vertices in enumerate(chunks):
+                per_core_orders[i % num_cores].extend(chunk_vertices)
+        traces = [
+            prepare_run(
+                PageRank(), graph, order=np.array(order, np.int64)
+            ).trace
+            for order in per_core_orders
+        ]
+        from repro.sim.driver import _build_popt_policy
+
+        policy, __ = _build_popt_policy(serial, "inter_intra", 8, 64)
+        h = MultiCoreHierarchy(config, policy, num_cores=num_cores)
+        replay_multicore(traces, h, chunk=16)
+        llc_rate = h.llc.stats.miss_rate
+        assert llc_rate == pytest.approx(
+            serial_result.llc.miss_rate, abs=0.12
+        )

@@ -1,0 +1,103 @@
+"""Cross-validation of the cache simulator against independent reference
+models (the same role Sniper validation plays in Section VI)."""
+
+from collections import OrderedDict
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import AccessContext, CacheConfig, SetAssociativeCache
+from repro.policies import LRU, BeladyOPT
+from repro.memory.trace import MemoryTrace
+
+
+class ReferenceLRUCache:
+    """Oracle LRU implementation with OrderedDicts, one per set."""
+
+    def __init__(self, num_sets, num_ways):
+        self.num_sets = num_sets
+        self.num_ways = num_ways
+        self.sets = [OrderedDict() for _ in range(num_sets)]
+
+    def access(self, line):
+        group = self.sets[line % self.num_sets]
+        if line in group:
+            group.move_to_end(line)
+            return True
+        if len(group) >= self.num_ways:
+            group.popitem(last=False)
+        group[line] = True
+        return False
+
+
+@given(
+    st.integers(1, 4).map(lambda k: 1 << k),  # sets: 2..16
+    st.integers(1, 8),                        # ways
+    st.lists(st.integers(0, 60), min_size=1, max_size=500),
+)
+@settings(max_examples=60, deadline=None)
+def test_lru_matches_ordereddict_reference(num_sets, num_ways, lines):
+    cache = SetAssociativeCache(
+        CacheConfig("t", num_sets=num_sets, num_ways=num_ways), LRU()
+    )
+    reference = ReferenceLRUCache(num_sets, num_ways)
+    ctx = AccessContext()
+    for index, line in enumerate(lines):
+        ctx.index = index
+        assert cache.access(line, ctx) == reference.access(line), (
+            f"divergence at access {index} (line {line})"
+        )
+
+
+def exhaustive_optimal_hits(lines, num_ways):
+    """Exact offline-optimal hit count for a single fully-associative set
+    via memoized search (exponential; only for tiny inputs)."""
+    from functools import lru_cache
+
+    lines = tuple(lines)
+
+    @lru_cache(maxsize=None)
+    def best(index, contents):
+        if index == len(lines):
+            return 0
+        line = lines[index]
+        if line in contents:
+            return 1 + best(index + 1, contents)
+        if len(contents) < num_ways:
+            return best(
+                index + 1, tuple(sorted(contents + (line,)))
+            )
+        outcomes = []
+        for victim in contents:
+            kept = tuple(
+                sorted(c for c in contents if c != victim) + [line]
+            )
+            outcomes.append(best(index + 1, kept))
+        return max(outcomes)
+
+    return best(0, ())
+
+
+@given(st.lists(st.integers(0, 5), min_size=1, max_size=14))
+@settings(max_examples=40, deadline=None)
+def test_belady_matches_exhaustive_optimum(lines):
+    """Belady's greedy furthest-next-use rule is provably optimal; our
+    implementation must match an exhaustive search on tiny traces."""
+    num_ways = 2
+    trace = MemoryTrace(
+        addresses=np.array(lines, np.int64) * 64,
+        pcs=np.ones(len(lines), np.uint8),
+        writes=np.zeros(len(lines), bool),
+        vertices=np.zeros(len(lines), np.int32),
+    )
+    policy = BeladyOPT(trace.next_use_indices())
+    cache = SetAssociativeCache(
+        CacheConfig("t", num_sets=1, num_ways=num_ways), policy
+    )
+    ctx = AccessContext()
+    hits = 0
+    for index, line in enumerate(lines):
+        ctx.index = index
+        hits += cache.access(line, ctx)
+    assert hits == exhaustive_optimal_hits(lines, num_ways)

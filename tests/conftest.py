@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges, uniform_random
+
+
+@pytest.fixture
+def paper_example_graph():
+    """The paper's running example (Fig. 1): 5 vertices, 10 edges.
+
+    CSR (out-neighbors): 0->{2}, 1->{0,4}, 2->{0,1,3}, 3->{1,4}, 4->{0,2}.
+    The paper draws 8 edges; we use the full Fig. 5 matrix (10 non-zeros).
+    """
+    return from_edges(
+        [
+            (0, 2),
+            (1, 0),
+            (1, 4),
+            (2, 0),
+            (2, 1),
+            (2, 3),
+            (3, 1),
+            (3, 4),
+            (4, 0),
+            (4, 2),
+        ],
+        num_vertices=5,
+    )
+
+
+@pytest.fixture
+def small_random_graph():
+    """A 512-vertex uniform graph for mechanics tests."""
+    return uniform_random(512, avg_degree=8.0, seed=3)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

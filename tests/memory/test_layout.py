@@ -1,0 +1,130 @@
+"""Unit tests for the address-space layout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.memory import AddressSpace
+
+
+class TestAlloc:
+    def test_line_alignment(self):
+        space = AddressSpace()
+        a = space.alloc("a", 10, 32)
+        b = space.alloc("b", 10, 32)
+        assert a.base % 64 == 0
+        assert b.base % 64 == 0
+
+    def test_no_line_sharing(self):
+        space = AddressSpace()
+        a = space.alloc("a", 3, 32)  # 12 bytes -> 1 line
+        b = space.alloc("b", 3, 32)
+        assert b.base >= a.base + 64
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.alloc("a", 1, 32)
+        with pytest.raises(LayoutError):
+            space.alloc("a", 1, 32)
+
+    def test_bad_sizes_rejected(self):
+        space = AddressSpace()
+        with pytest.raises(LayoutError):
+            space.alloc("a", -1, 32)
+        with pytest.raises(LayoutError):
+            space.alloc("b", 1, 0)
+
+    def test_bad_line_size_rejected(self):
+        with pytest.raises(LayoutError):
+            AddressSpace(line_size=48)
+
+    def test_lookup(self):
+        space = AddressSpace()
+        span = space.alloc("data", 100, 32, irregular=True)
+        assert space["data"] is span
+        assert "data" in space
+        with pytest.raises(LayoutError):
+            space["missing"]
+
+    def test_irregular_spans(self):
+        space = AddressSpace()
+        space.alloc("stream", 10, 32)
+        irr = space.alloc("irr", 10, 32, irregular=True)
+        assert space.irregular_spans == [irr]
+
+    def test_span_of_addr(self):
+        space = AddressSpace()
+        a = space.alloc("a", 100, 32)
+        b = space.alloc("b", 100, 32)
+        assert space.span_of_addr(a.base + 50) is a
+        assert space.span_of_addr(b.base) is b
+        assert space.span_of_addr(b.bound + 1024) is None
+
+
+class TestSpanGeometry:
+    def test_byte_elements(self):
+        space = AddressSpace()
+        span = space.alloc("x", 100, 32)
+        assert span.num_bytes == 400
+        assert span.elems_per_line == 16
+        assert span.num_lines == 7  # ceil(400/64)
+
+    def test_bit_elements(self):
+        # Frontier bit-vector: 512 vertices per 64 B line (Section IV-A).
+        space = AddressSpace()
+        span = space.alloc("frontier", 1000, 1)
+        assert span.elems_per_line == 512
+        assert span.num_lines == 2
+
+    def test_addr_of_scalar_and_vector(self):
+        space = AddressSpace()
+        span = space.alloc("x", 100, 32)
+        assert span.addr_of(0) == span.base
+        assert span.addr_of(16) == span.base + 64
+        addrs = span.addr_of(np.array([0, 1, 16]))
+        assert addrs.tolist() == [span.base, span.base + 4, span.base + 64]
+
+    def test_bit_addressing(self):
+        space = AddressSpace()
+        span = space.alloc("bits", 1024, 1)
+        assert span.addr_of(0) == span.base
+        assert span.addr_of(7) == span.base
+        assert span.addr_of(8) == span.base + 1
+        assert span.line_of(511) == 0
+        assert span.line_of(512) == 1
+
+    def test_line_id_of_addr_is_engine_arithmetic(self):
+        # cachelineID = (addr - irreg_base) / 64 (Section V-C).
+        space = AddressSpace()
+        span = space.alloc("x", 1000, 32)
+        assert span.line_id_of_addr(span.base) == 0
+        assert span.line_id_of_addr(span.base + 65) == 1
+
+    def test_contains(self):
+        space = AddressSpace()
+        span = space.alloc("x", 16, 32)
+        assert span.contains(span.base)
+        assert span.contains(span.bound - 1)
+        assert not span.contains(span.bound)
+        assert not span.contains(span.base - 1)
+
+    @given(
+        st.integers(1, 5000),
+        st.sampled_from([1, 8, 32, 64]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_line_count_consistency(self, num_elems, elem_bits):
+        space = AddressSpace()
+        span = space.alloc("x", num_elems, elem_bits)
+        # Every element's line index must be < num_lines.
+        last_line = span.line_of(num_elems - 1)
+        assert last_line < span.num_lines
+        assert span.num_lines * 64 >= span.num_bytes
+
+    def test_total_bytes(self):
+        space = AddressSpace()
+        space.alloc("a", 16, 32)  # 1 line
+        space.alloc("b", 17, 32)  # 2 lines
+        assert space.total_bytes() == 3 * 64

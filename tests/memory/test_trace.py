@@ -1,0 +1,144 @@
+"""Unit tests for memory traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.memory import MemoryTrace, TraceBuilder, concat_traces
+
+
+def make_trace(addresses, pcs=None, writes=None, vertices=None):
+    n = len(addresses)
+    return MemoryTrace(
+        addresses=np.asarray(addresses, np.int64),
+        pcs=np.asarray(pcs if pcs is not None else [1] * n, np.uint8),
+        writes=np.asarray(writes if writes is not None else [False] * n),
+        vertices=np.asarray(
+            vertices if vertices is not None else [0] * n, np.int32
+        ),
+    )
+
+
+class TestMemoryTrace:
+    def test_length_and_iteration(self):
+        t = make_trace([64, 128, 64])
+        assert len(t) == 3
+        entries = list(t)
+        assert entries[0] == (64, 1, False, 0)
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            MemoryTrace(
+                addresses=np.array([1, 2]),
+                pcs=np.array([1], np.uint8),
+                writes=np.array([False, False]),
+                vertices=np.array([0, 0], np.int32),
+            )
+
+    def test_slice(self):
+        t = make_trace([0, 64, 128, 192])
+        s = t.slice(1, 3)
+        assert s.addresses.tolist() == [64, 128]
+
+    def test_line_addresses(self):
+        t = make_trace([0, 63, 64, 130])
+        assert t.line_addresses().tolist() == [0, 0, 1, 2]
+
+    def test_stats(self):
+        t = make_trace([0, 64, 128], pcs=[1, 2, 2])
+        assert t.stats() == {1: 1, 2: 2}
+
+    def test_empty(self):
+        t = TraceBuilder().build()
+        assert len(t) == 0
+        assert t.next_use_indices().size == 0
+
+
+class TestNextUse:
+    def test_basic(self):
+        # lines: A B A B -> next uses: 2, 3, inf, inf
+        t = make_trace([0, 64, 0, 64])
+        assert t.next_use_indices().tolist() == [2, 3, 4, 4]
+
+    def test_same_line_different_bytes(self):
+        t = make_trace([0, 32, 100])
+        # 0 and 32 share line 0.
+        assert t.next_use_indices().tolist() == [1, 3, 3]
+
+    @given(st.lists(st.integers(0, 6), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_forward_scan(self, line_ids):
+        t = make_trace([line * 64 for line in line_ids])
+        next_use = t.next_use_indices()
+        n = len(line_ids)
+        for i in range(n):
+            expected = n
+            for j in range(i + 1, n):
+                if line_ids[j] == line_ids[i]:
+                    expected = j
+                    break
+            assert next_use[i] == expected
+
+
+class TestTraceBuilder:
+    def test_chunks_in_order(self):
+        builder = TraceBuilder()
+        builder.append_chunk(np.array([0, 64]), pc=1, write=False, vertex=0)
+        builder.append_chunk(np.array([128]), pc=2, write=True, vertex=5)
+        t = builder.build()
+        assert t.addresses.tolist() == [0, 64, 128]
+        assert t.pcs.tolist() == [1, 1, 2]
+        assert bool(t.writes[2])
+        assert t.vertices.tolist() == [0, 0, 5]
+
+    def test_scalar_append(self):
+        builder = TraceBuilder()
+        builder.append_access(4096, pc=3, write=False, vertex=7)
+        t = builder.build()
+        assert len(t) == 1
+        assert t.vertices[0] == 7
+
+    def test_broadcast_arrays(self):
+        builder = TraceBuilder()
+        builder.append_chunk(
+            np.array([0, 64, 128]),
+            pc=np.uint8(2),
+            write=np.array([True, False, True]),
+            vertex=np.array([1, 2, 3], np.int32),
+        )
+        t = builder.build()
+        assert t.writes.tolist() == [True, False, True]
+        assert t.vertices.tolist() == [1, 2, 3]
+
+
+class TestConcat:
+    def test_concat(self):
+        a = make_trace([0], vertices=[1])
+        b = make_trace([64], vertices=[2])
+        t = concat_traces([a, b])
+        assert t.addresses.tolist() == [0, 64]
+        assert t.vertices.tolist() == [1, 2]
+
+    def test_concat_empty_list(self):
+        assert len(concat_traces([])) == 0
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        t = make_trace([0, 64, 128], pcs=[1, 2, 3], writes=[True, False, True],
+                       vertices=[7, 8, 9])
+        path = tmp_path / "trace.npz"
+        t.save(path)
+        loaded = MemoryTrace.load(path)
+        assert np.array_equal(loaded.addresses, t.addresses)
+        assert np.array_equal(loaded.pcs, t.pcs)
+        assert np.array_equal(loaded.writes, t.writes)
+        assert np.array_equal(loaded.vertices, t.vertices)
+
+    def test_rejects_foreign_archive(self, tmp_path):
+        path = tmp_path / "x.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(SimulationError):
+            MemoryTrace.load(path)

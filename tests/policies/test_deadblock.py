@@ -1,0 +1,149 @@
+"""Tests for the dead-block prediction policies (SDBP, Leeway)."""
+
+import pytest
+
+from repro.cache import AccessContext, CacheConfig, SetAssociativeCache
+from repro.policies import LRU, Leeway, SDBP
+
+
+def replay(policy, accesses, num_sets=1, num_ways=4):
+    cache = SetAssociativeCache(
+        CacheConfig("t", num_sets=num_sets, num_ways=num_ways), policy
+    )
+    ctx = AccessContext()
+    results = []
+    for index, (line, pc) in enumerate(accesses):
+        ctx.index = index
+        ctx.pc = pc
+        results.append(cache.access(line, ctx))
+    return cache, results
+
+
+class TestSDBP:
+    def test_scan_pc_trained_dead(self):
+        policy = SDBP(sample_every=1)
+        # PC 9 emits a long one-shot scan; PC 2's lines (0, 1) are hot.
+        accesses = []
+        for i in range(300):
+            accesses.append((0, 2))
+            accesses.append((1, 2))
+            accesses.append((100 + i, 9))
+        cache, _ = replay(policy, accesses, num_ways=4)
+        assert policy._predictor[9] >= policy.DEAD_THRESHOLD
+        assert policy._predictor[2] < policy.DEAD_THRESHOLD
+        assert cache.probe(0) and cache.probe(1)
+
+    def test_dead_lines_preferred_victims(self):
+        policy = SDBP(sample_every=1)
+        cache = SetAssociativeCache(
+            CacheConfig("t", num_sets=1, num_ways=4), policy
+        )
+        ctx = AccessContext()
+        for line, pc in [(0, 2), (1, 2), (2, 9), (3, 9)]:
+            ctx.pc = pc
+            cache.access(line, ctx)
+        # Saturate PC 9's dead counter and re-touch line 2 so its dead
+        # bit refreshes (the sampler's live-training on that reuse costs
+        # one counter step, hence saturation first).
+        policy._predictor[9] = policy.COUNTER_MAX
+        ctx.pc = 9
+        cache.access(2, ctx)
+        victim = policy.choose_victim(0, ctx)
+        # Victim is the predicted-dead line 2, even though line 0 is
+        # older in LRU terms.
+        assert cache.tags[0][victim] == 2
+
+    def test_reuse_trains_live(self):
+        policy = SDBP(sample_every=1)
+        # PC 5's lines are always reused promptly.
+        accesses = []
+        for i in range(50):
+            accesses.append((i % 3, 5))
+        replay(policy, accesses, num_ways=4)
+        assert policy._predictor[5] < policy.DEAD_THRESHOLD
+
+    def test_falls_back_to_lru(self):
+        """With an untrained predictor SDBP must behave exactly like LRU."""
+        import random
+
+        rng = random.Random(1)
+        accesses = [(rng.randrange(12), rng.randrange(2)) for _ in range(60)]
+        # Use unsampled sets only so no training ever happens.
+        sdbp = SDBP(sample_every=64)
+        cache_a, results_a = replay(sdbp, accesses, num_sets=2)
+        # sample_every=64 > num_sets means set 0 is still sampled; force
+        # comparison on pure LRU instead via the dead-bit state:
+        cache_b, results_b = replay(LRU(), accesses, num_sets=2)
+        # With DEAD_THRESHOLD unreached the victim rule is min-stamp = LRU.
+        assert results_a == results_b
+
+
+class TestLeeway:
+    def test_live_distance_rises_on_deep_hits(self):
+        policy = Leeway()
+        # Line 0 is reused after 3 intervening lines: depth 3 hits.
+        pattern = [(0, 7), (1, 7), (2, 7), (3, 7)] * 20
+        replay(policy, pattern, num_ways=4)
+        assert policy._live_distance[7] >= 3
+
+    def test_live_distance_shrinks_hesitantly(self):
+        policy = Leeway()
+        policy.bind(
+            SetAssociativeCache(
+                CacheConfig("t", num_sets=1, num_ways=4), LRU()
+            )
+        )
+        # Directly exercise the update rule: repeated shallow lifetimes.
+        policy._live_distance[3] = 10
+        ctx = AccessContext(pc=3)
+        for i in range(policy.SHRINK_HESITATION - 1):
+            policy._line_pc[0][0] = 3
+            policy._line_max_depth[0][0] = 0
+            policy.on_evict(0, 0, ctx)
+        assert policy._live_distance[3] == 10  # not yet
+        policy._line_pc[0][0] = 3
+        policy._line_max_depth[0][0] = 0
+        policy.on_evict(0, 0, ctx)
+        assert policy._live_distance[3] == 9  # one hesitant step
+
+    def test_dead_line_evicted_before_lru(self):
+        policy = Leeway()
+        cache = SetAssociativeCache(
+            CacheConfig("t", num_sets=1, num_ways=4), policy
+        )
+        ctx = AccessContext()
+        for line, pc in [(0, 1), (1, 1), (2, 1), (3, 1)]:
+            ctx.pc = pc
+            cache.access(line, ctx)
+        # Declare PC 1's lines dead past depth 1: victim should be the
+        # LRU-most line (depth 3 > 1).
+        policy._live_distance[1] = 1
+        victim = policy.choose_victim(0, ctx)
+        assert cache.tags[0][victim] == 0
+
+    def test_defaults_to_lru_when_all_live(self):
+        policy = Leeway()
+        cache, _ = replay(policy, [(i, 1) for i in range(4)])
+        victim = policy.choose_victim(0, AccessContext())
+        assert cache.tags[0][victim] == 0  # oldest
+
+
+class TestOnGraphWorkload:
+    @pytest.mark.parametrize("policy_name", ["SDBP", "Leeway"])
+    def test_between_catastrophe_and_popt(self, policy_name):
+        """On PageRank the dead-block predictors must stay in LRU's
+        neighborhood (Section VIII: they can't find graph dead lines, but
+        they must not melt down either) and lose clearly to P-OPT."""
+        from repro.apps import PageRank
+        from repro.cache import scaled_hierarchy
+        from repro.graph import uniform_random
+        from repro.sim import prepare_run, simulate_prepared
+
+        graph = uniform_random(4096, avg_degree=8.0, seed=4)
+        hierarchy = scaled_hierarchy("tiny")
+        prepared = prepare_run(PageRank(), graph)
+        lru = simulate_prepared(prepared, "LRU", hierarchy)
+        dead = simulate_prepared(prepared, policy_name, hierarchy)
+        popt = simulate_prepared(prepared, "P-OPT", hierarchy)
+        assert dead.llc.misses < lru.llc.misses * 1.15
+        assert popt.llc.misses < dead.llc.misses

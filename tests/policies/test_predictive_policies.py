@@ -1,0 +1,213 @@
+"""Tests for SHiP, Hawkeye, Belady OPT, and GRASP."""
+
+import numpy as np
+import pytest
+
+from repro.cache import AccessContext, CacheConfig, SetAssociativeCache
+from repro.errors import PolicyError
+from repro.memory.trace import MemoryTrace
+from repro.policies import GRASP, BeladyOPT, Hawkeye, SHiP, ship_mem, ship_pc
+from repro.policies.registry import PolicyContext, make_policy, policy_names
+
+
+def replay(policy, accesses, num_sets=1, num_ways=4):
+    """accesses: list of (line, pc)."""
+    cache = SetAssociativeCache(
+        CacheConfig("t", num_sets=num_sets, num_ways=num_ways), policy
+    )
+    ctx = AccessContext()
+    results = []
+    for index, (line, pc) in enumerate(accesses):
+        ctx.index = index
+        ctx.pc = pc
+        results.append(cache.access(line, ctx))
+    return cache, results
+
+
+class TestSHiP:
+    def test_signature_validation(self):
+        with pytest.raises(ValueError):
+            SHiP(signature="bogus")
+
+    def test_names(self):
+        assert ship_pc().name == "SHiP-PC"
+        assert ship_mem().name == "SHiP-Mem"
+
+    def test_dead_pc_learns_distant_insertion(self):
+        policy = ship_pc()
+        # PC 7 only produces lines that are never reused; PC 3's lines are
+        # hot. After training, PC 7 fills insert at distant RRPV.
+        accesses = []
+        for round_index in range(40):
+            accesses.append((round_index + 100, 7))  # never reused
+            accesses.append((0, 3))
+            accesses.append((1, 3))
+        cache, results = replay(policy, accesses, num_ways=4)
+        assert policy._shct[7] == 0
+        assert policy._shct[3] > 0
+        # Hot lines survive the dead-line stream.
+        assert cache.probe(0) and cache.probe(1)
+
+    def test_ship_mem_tracks_regions(self):
+        policy = ship_mem(region_lines=1)
+        accesses = [(5, 1), (5, 2), (6, 1)] * 10
+        replay(policy, accesses)
+        assert policy._shct[5] > 0
+
+    def test_outcome_reset_on_fill(self):
+        policy = ship_pc()
+        cache, _ = replay(policy, [(0, 1), (0, 1)])
+        assert policy._line_reused[0][0] is True
+        # New fill resets the reuse bit.
+        replayed_ctx = AccessContext(pc=1)
+        cache.access(1, replayed_ctx)
+        way = cache.tags[0].index(1)
+        assert policy._line_reused[0][way] is False
+
+
+class TestHawkeye:
+    def test_friendly_pc_protected(self):
+        policy = Hawkeye(sample_every=1)
+        # PC 2's line (0) is reused constantly; PC 9 produces a scan.
+        accesses = []
+        for i in range(60):
+            accesses.append((0, 2))
+            accesses.append((100 + i, 9))
+        cache, results = replay(policy, accesses, num_ways=4)
+        assert policy._predictor[2] >= 4
+        assert cache.probe(0)
+
+    def test_averse_pc_detrained(self):
+        policy = Hawkeye(sample_every=1)
+        # One-shot lines from PC 9 overflow the set; OPTgen sees no reuse.
+        accesses = [(i, 9) for i in range(200)]
+        replay(policy, accesses, num_ways=4)
+        assert policy._predictor[9] < 4
+
+    def test_history_window_bounded(self):
+        policy = Hawkeye(sample_every=1, history_factor=2)
+        accesses = [(i % 3, 1) for i in range(500)]
+        replay(policy, accesses, num_ways=2)
+        history = policy._histories[0]
+        assert len(history.occupancy) <= history.window
+
+
+class TestBeladyOPT:
+    def test_requires_1d_array(self):
+        with pytest.raises(PolicyError):
+            BeladyOPT(np.zeros((2, 2), dtype=np.int64))
+
+    def test_optimal_on_classic_pattern(self):
+        # Lines: A B C A B C with 2 ways. OPT keeps A then B: 2 hits.
+        # LRU gets 0 hits on this pattern.
+        lines = [0, 1, 2, 0, 1, 2]
+        trace = MemoryTrace(
+            addresses=np.array(lines, np.int64) * 64,
+            pcs=np.ones(6, np.uint8),
+            writes=np.zeros(6, bool),
+            vertices=np.zeros(6, np.int32),
+        )
+        policy = BeladyOPT(trace.next_use_indices())
+        cache, results = replay(
+            policy, [(line, 1) for line in lines], num_ways=2
+        )
+        assert sum(results) >= 2
+
+    def test_opt_never_worse_than_lru(self):
+        from repro.policies import LRU
+
+        rng = np.random.default_rng(4)
+        lines = rng.integers(0, 20, size=600).tolist()
+        trace = MemoryTrace(
+            addresses=np.array(lines, np.int64) * 64,
+            pcs=np.ones(len(lines), np.uint8),
+            writes=np.zeros(len(lines), bool),
+            vertices=np.zeros(len(lines), np.int32),
+        )
+        opt_policy = BeladyOPT(trace.next_use_indices())
+        _, opt_results = replay(
+            opt_policy, [(line, 1) for line in lines], num_sets=2,
+            num_ways=4,
+        )
+        _, lru_results = replay(
+            LRU(), [(line, 1) for line in lines], num_sets=2, num_ways=4
+        )
+        assert sum(opt_results) >= sum(lru_results)
+
+    def test_index_beyond_trace_rejected(self):
+        policy = BeladyOPT(np.array([1], dtype=np.int64))
+        cache = SetAssociativeCache(
+            CacheConfig("t", num_sets=1, num_ways=1), policy
+        )
+        ctx = AccessContext()
+        ctx.index = 5
+        with pytest.raises(PolicyError):
+            cache.access(0, ctx)
+
+
+class TestGRASP:
+    def test_hot_lines_protected(self):
+        policy = GRASP(hot_range=(0, 4), warm_range=(4, 8))
+        # Hot lines 0-3 compete with a cold scan.
+        accesses = [(0, 1), (1, 1), (2, 1), (3, 1)]
+        accesses += [(100 + i, 1) for i in range(20)]
+        cache, _ = replay(policy, accesses, num_ways=4)
+        # Cold lines insert at distant RRPV, so after the first aging
+        # event each new cold miss replaces the previous cold line: at
+        # most one hot line is sacrificed, the rest stay resident.
+        survivors = sum(cache.probe(line) for line in (0, 1, 2, 3))
+        assert survivors >= 3
+
+    def test_cold_promotion_gradual(self):
+        policy = GRASP(hot_range=(0, 1))
+        cache, _ = replay(policy, [(50, 1), (50, 1)])
+        way = cache.tags[0].index(50)
+        # Cold lines insert distant and earn one step per hit — they never
+        # jump straight to re-reference-imminent like hot lines do.
+        assert policy._rrpv[0][way] == policy.rrpv_max - 1
+        cache2, _ = replay(policy, [(0, 1), (0, 1)])
+        way2 = cache2.tags[0].index(0)
+        assert policy._rrpv[0][way2] == 0
+
+    def test_region_classification(self):
+        policy = GRASP(hot_range=(10, 20), warm_range=(20, 30))
+        assert policy._region(15) == 0
+        assert policy._region(25) == 1
+        assert policy._region(35) == 2
+
+
+class TestRegistry:
+    def test_known_policies(self):
+        names = policy_names()
+        for expected in (
+            "LRU",
+            "DRRIP",
+            "SHiP-PC",
+            "SHiP-Mem",
+            "Hawkeye",
+            "OPT",
+            "GRASP",
+        ):
+            assert expected in names
+
+    def test_unknown_policy(self):
+        with pytest.raises(PolicyError):
+            make_policy("NOPE")
+
+    def test_opt_needs_trace(self):
+        with pytest.raises(PolicyError):
+            make_policy("OPT", PolicyContext())
+
+    def test_grasp_needs_ranges(self):
+        with pytest.raises(PolicyError):
+            make_policy("GRASP", PolicyContext())
+
+    def test_opt_from_trace(self):
+        trace = MemoryTrace(
+            addresses=np.array([0, 64], np.int64),
+            pcs=np.ones(2, np.uint8),
+            writes=np.zeros(2, bool),
+            vertices=np.zeros(2, np.int32),
+        )
+        policy = make_policy("OPT", PolicyContext(trace=trace))
+        assert policy.name == "OPT"

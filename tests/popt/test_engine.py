@@ -1,0 +1,60 @@
+"""Tests for the next-ref engine latency model (Section V-C)."""
+
+import pytest
+
+from repro.cache import CacheConfig, HierarchyConfig, paper_table1
+from repro.popt.engine import NextRefEngineModel
+
+
+class TestSearchLatency:
+    def test_streaming_only_is_classification(self):
+        model = NextRefEngineModel()
+        assert model.search_latency(16, 0) == 16
+
+    def test_single_irregular_way(self):
+        model = NextRefEngineModel()
+        expected = (
+            16  # classify every way
+            + model.rm_fetch_cycles + model.compute_cycles  # no overlap
+            + 1  # select
+        )
+        assert model.search_latency(16, 1) == expected
+
+    def test_pipeline_overlap(self):
+        model = NextRefEngineModel()
+        two = model.search_latency(16, 2)
+        one = model.search_latency(16, 1)
+        # Adding a way costs the initiation interval + select, NOT a full
+        # fetch+compute: that's the pipelining.
+        interval = max(model.rm_fetch_cycles, model.compute_cycles)
+        assert two - one == interval + model.select_cycles_per_way
+        assert interval < model.rm_fetch_cycles + model.compute_cycles
+
+    def test_monotone_in_irregular_ways(self):
+        model = NextRefEngineModel()
+        latencies = [model.search_latency(16, k) for k in range(17)]
+        assert latencies == sorted(latencies)
+
+    def test_validation(self):
+        model = NextRefEngineModel()
+        with pytest.raises(ValueError):
+            model.search_latency(4, 5)
+
+
+class TestPaperClaim:
+    def test_hidden_on_the_paper_machine(self):
+        """Section V-C: on Table I's machine (16-way LLC, 392-cycle DRAM,
+        7-cycle banks) the worst-case search hides under the DRAM fetch."""
+        model = NextRefEngineModel()
+        config = paper_table1()
+        assert model.worst_case_latency(config.llc) < 200
+        assert model.hidden_by_dram(config)
+        assert model.slack_cycles(config) > 0
+
+    def test_not_hidden_at_extreme_associativity(self):
+        # The claim has limits: a 64-way LLC would outrun the DRAM window.
+        model = NextRefEngineModel()
+        config = HierarchyConfig(
+            llc=CacheConfig("LLC", num_sets=1024, num_ways=64)
+        )
+        assert not model.hidden_by_dram(config)

@@ -1,0 +1,104 @@
+"""Property tests on P-OPT's victim-selection invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import AccessContext, CacheConfig, SetAssociativeCache
+from repro.graph import from_edges
+from repro.memory import AddressSpace
+from repro.popt import POPT, PoptStream, build_rereference_matrix
+
+
+def build_policy(num_elems, edges, entry_bits=8):
+    graph = from_edges(edges, num_vertices=num_elems, dedup=True)
+    space = AddressSpace()
+    span = space.alloc("irr", num_elems, 512, irregular=True)  # 1/line
+    matrix = build_rereference_matrix(
+        graph, elems_per_line=1, entry_bits=entry_bits,
+        num_lines=span.num_lines,
+    )
+    return POPT([PoptStream(span=span, matrix=matrix)]), span, matrix
+
+
+def graph_cases():
+    return st.integers(4, 24).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                min_size=1, max_size=80,
+            ),
+            st.lists(
+                st.integers(0, n - 1), min_size=2, max_size=8,
+                unique=True,
+            ),
+            st.integers(0, n - 1),
+        )
+    )
+
+
+@given(graph_cases())
+@settings(max_examples=60, deadline=None)
+def test_victim_has_maximal_next_ref(case):
+    """Among irregular candidates (no streaming lines present), the
+    chosen victim's decoded next reference is the set's maximum."""
+    n, edges, resident_elems, current_vertex = case
+    policy, span, matrix = build_policy(n, edges)
+    cache = SetAssociativeCache(
+        CacheConfig("LLC", num_sets=1, num_ways=len(resident_elems)),
+        policy,
+    )
+    ctx = AccessContext(vertex=current_vertex)
+    base_line = span.base >> 6
+    for element in resident_elems:
+        cache.access(base_line + element, ctx)
+    victim = policy.choose_victim(0, ctx)
+    decoded = [
+        matrix.find_next_ref(element, current_vertex)
+        for element in resident_elems
+    ]
+    victim_element = cache.tags[0][victim] - base_line
+    assert matrix.find_next_ref(victim_element, current_vertex) == max(
+        decoded
+    )
+
+
+@given(graph_cases())
+@settings(max_examples=40, deadline=None)
+def test_streaming_always_preferred(case):
+    """Any streaming line present must be chosen before irregData."""
+    n, edges, resident_elems, current_vertex = case
+    policy, span, __ = build_policy(n, edges)
+    ways = len(resident_elems) + 1
+    cache = SetAssociativeCache(
+        CacheConfig("LLC", num_sets=1, num_ways=ways), policy
+    )
+    ctx = AccessContext(vertex=current_vertex)
+    base_line = span.base >> 6
+    streaming_line = (span.bound >> 6) + 1000
+    for element in resident_elems:
+        cache.access(base_line + element, ctx)
+    cache.access(streaming_line, ctx)
+    victim = policy.choose_victim(0, ctx)
+    assert cache.tags[0][victim] == streaming_line
+
+
+@given(graph_cases())
+@settings(max_examples=30, deadline=None)
+def test_counters_account_every_replacement(case):
+    n, edges, resident_elems, current_vertex = case
+    policy, span, __ = build_policy(n, edges)
+    ways = max(2, len(resident_elems) - 1)
+    cache = SetAssociativeCache(
+        CacheConfig("LLC", num_sets=1, num_ways=ways), policy
+    )
+    ctx = AccessContext(vertex=current_vertex)
+    base_line = span.base >> 6
+    rng = np.random.default_rng(0)
+    for element in rng.integers(0, n, size=60):
+        cache.access(base_line + int(element), ctx)
+    counters = policy.counters
+    assert counters.replacements == cache.stats.evictions
+    assert counters.ties <= counters.replacements
+    assert counters.rm_lookups >= counters.replacements

@@ -1,0 +1,120 @@
+"""Tests for stack-distance analysis, validated against the simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import AccessContext, CacheConfig, SetAssociativeCache
+from repro.memory.trace import MemoryTrace
+from repro.policies import LRU
+from repro.sim.analysis import (
+    COLD,
+    miss_rate_curve,
+    per_site_reuse_stats,
+    reuse_distances,
+)
+
+
+def make_trace(lines, pcs=None):
+    n = len(lines)
+    return MemoryTrace(
+        addresses=np.asarray(lines, np.int64) * 64,
+        pcs=np.asarray(pcs if pcs else [1] * n, np.uint8),
+        writes=np.zeros(n, bool),
+        vertices=np.zeros(n, np.int32),
+    )
+
+
+class TestReuseDistances:
+    def test_known_pattern(self):
+        # A B A B B C A
+        trace = make_trace([0, 1, 0, 1, 1, 2, 0])
+        d = reuse_distances(trace).tolist()
+        assert d == [COLD, COLD, 1, 1, 0, COLD, 2]
+
+    def test_all_cold(self):
+        trace = make_trace([0, 1, 2, 3])
+        assert (reuse_distances(trace) == COLD).all()
+
+    def test_by_pc_grouping(self):
+        trace = make_trace([0, 0, 1], pcs=[5, 5, 6])
+        grouped = reuse_distances(trace, by_pc=True)
+        assert grouped[5].tolist() == [COLD, 0]
+        assert grouped[6].tolist() == [COLD]
+
+    def test_matches_naive_stack(self):
+        rng = np.random.default_rng(3)
+        lines = rng.integers(0, 30, size=400).tolist()
+        trace = make_trace(lines)
+        fast = reuse_distances(trace)
+        # Naive O(n^2) recomputation.
+        for i, line in enumerate(lines):
+            previous = None
+            for j in range(i - 1, -1, -1):
+                if lines[j] == line:
+                    previous = j
+                    break
+            if previous is None:
+                assert fast[i] == COLD
+            else:
+                distinct = len(set(lines[previous + 1:i]) - {line})
+                assert fast[i] == distinct, i
+
+
+class TestMissRateCurve:
+    @given(st.lists(st.integers(0, 40), min_size=5, max_size=400),
+           st.integers(1, 5).map(lambda k: 2 ** k))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_fully_associative_lru(self, lines, capacity):
+        """Stack-distance MRC must equal a real fully-associative LRU
+        simulation at every capacity (Mattson's inclusion property)."""
+        trace = make_trace(lines)
+        curve = miss_rate_curve(trace, [capacity])
+        cache = SetAssociativeCache(
+            CacheConfig("t", num_sets=1, num_ways=capacity), LRU()
+        )
+        ctx = AccessContext()
+        misses = 0
+        for index, line in enumerate(lines):
+            ctx.index = index
+            if not cache.access(line, ctx):
+                misses += 1
+        assert curve[capacity] == pytest.approx(misses / len(lines))
+
+    def test_monotone_in_capacity(self):
+        rng = np.random.default_rng(5)
+        trace = make_trace(rng.integers(0, 100, size=1000).tolist())
+        curve = miss_rate_curve(trace, [4, 16, 64, 256])
+        values = [curve[c] for c in (4, 16, 64, 256)]
+        assert values == sorted(values, reverse=True)
+
+    def test_empty_trace(self):
+        trace = make_trace([])
+        assert miss_rate_curve(trace, [8]) == {8: 0.0}
+
+
+class TestPerSiteStats:
+    def test_irregular_site_has_large_spread(self):
+        from repro.apps import PageRank
+        from repro.graph import uniform_random
+        from repro.memory.trace import AccessKind
+        from repro.sim import prepare_run
+
+        graph = uniform_random(2048, avg_degree=8.0, seed=6)
+        prepared = prepare_run(PageRank(), graph)
+        profiles = {
+            p.pc: p for p in per_site_reuse_stats(prepared.trace)
+        }
+        irregular = profiles[AccessKind.IRREG_DATA]
+        streaming = profiles[AccessKind.NEIGHBORS]
+        # The irregular site's typical reuse distance dwarfs streaming's.
+        assert irregular.median_distance > 20 * max(
+            streaming.median_distance, 1
+        )
+
+    def test_rows_printable(self):
+        trace = make_trace([0, 0, 1, 1], pcs=[1, 1, 2, 2])
+        rows = [p.as_row() for p in per_site_reuse_stats(trace)]
+        assert rows[0]["pc"] == 1
+        assert "cold%" in rows[0]

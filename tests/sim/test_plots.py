@@ -1,0 +1,61 @@
+"""Tests for the plain-text chart helpers."""
+
+from repro.sim.plots import grouped_bars, hbar_chart, sparkline
+
+
+class TestHBar:
+    def test_basic_render(self):
+        rows = [
+            {"graph": "A", "value": 1.0},
+            {"graph": "BB", "value": 0.5},
+        ]
+        chart = hbar_chart(rows, "graph", "value", width=10, title="T")
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("A ")
+        assert "1.000" in lines[1]
+        # Half-value bar is about half as long.
+        assert lines[1].count("█") >= 2 * lines[2].count("█") - 1
+
+    def test_negative_marker(self):
+        rows = [{"g": "x", "v": -0.4}, {"g": "y", "v": 0.8}]
+        chart = hbar_chart(rows, "g", "v")
+        assert "|-" in chart.splitlines()[0]
+
+    def test_empty(self):
+        assert "(empty)" in hbar_chart([], "g", "v", title="E")
+
+    def test_zero_values(self):
+        chart = hbar_chart([{"g": "x", "v": 0.0}], "g", "v")
+        assert "0.000" in chart
+
+
+class TestGroupedBars:
+    def test_groups_per_row(self):
+        rows = [{"g": "A", "p": 0.2, "q": 0.8}]
+        chart = grouped_bars(rows, "g", ["p", "q"])
+        lines = chart.splitlines()
+        assert lines[0] == "A"
+        assert lines[1].strip().startswith("p")
+        assert lines[2].strip().startswith("q")
+
+    def test_skips_non_numeric(self):
+        rows = [{"g": "A", "p": 0.5, "q": "n/a"}]
+        chart = grouped_bars(rows, "g", ["p", "q"])
+        assert "q" not in chart.replace("q |", "")  # q row skipped
+
+    def test_empty(self):
+        assert "(empty)" in grouped_bars([], "g", ["p"], title="E")
+
+
+class TestSparkline:
+    def test_monotone(self):
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] < line[-1]
+
+    def test_flat(self):
+        assert sparkline([1.0, 1.0]) == "▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""

@@ -1,0 +1,57 @@
+"""Extra timing-model coverage: writebacks, engine modes, config knobs."""
+
+import pytest
+
+from repro.cache import CacheConfig, HierarchyConfig, scaled_hierarchy
+from repro.cache.hierarchy import LEVEL_DRAM, LEVEL_L1
+from repro.sim.timing import TimingModel
+
+
+@pytest.fixture
+def config():
+    return scaled_hierarchy("tiny")
+
+
+class TestTimingKnobs:
+    def test_writeback_traffic_costs_bandwidth(self, config):
+        model = TimingModel(config)
+        base = model.cycles([0, 10, 0, 0, 0], instructions=35)
+        with_wb = model.cycles(
+            [0, 10, 0, 0, 0], instructions=35, llc_writebacks=100
+        )
+        expected_extra = 100 * 64 / model.dram_bandwidth_bytes_per_cycle
+        assert with_wb == pytest.approx(base + expected_extra)
+
+    def test_rm_lookup_cost_mode(self, config):
+        overlapped = TimingModel(config, rm_lookup_cycles=0.0)
+        pessimistic = TimingModel(config, rm_lookup_cycles=4.0)
+        counts = [0, 10, 0, 0, 0]
+        assert pessimistic.cycles(
+            counts, 35, popt_rm_lookups=100
+        ) == pytest.approx(
+            overlapped.cycles(counts, 35, popt_rm_lookups=100) + 400
+        )
+
+    def test_mlp_divides_dram_latency(self, config):
+        low_mlp = TimingModel(config, dram_mlp=1.0)
+        high_mlp = TimingModel(config, dram_mlp=4.0)
+        counts = [0, 0, 0, 0, 1000]
+        assert low_mlp.cycles(counts, 0) > high_mlp.cycles(counts, 0)
+
+    def test_llc_only_config(self):
+        config = HierarchyConfig(
+            llc=CacheConfig("LLC", num_sets=8, num_ways=2)
+        )
+        model = TimingModel(config)
+        # No L1/L2: their latency contribution is zero by construction.
+        counts = [0, 0, 0, 0, 0]
+        counts[LEVEL_L1] = 50
+        assert model.cycles(counts, 0) == 0.0
+
+    def test_dram_latency_matches_table1(self, config):
+        model = TimingModel(config, dram_mlp=1.0, base_cpi=0.0)
+        counts = [0, 0, 0, 0, 0]
+        counts[LEVEL_DRAM] = 1
+        assert model.cycles(counts, 0) == pytest.approx(
+            config.dram_latency_cycles
+        )

@@ -1,0 +1,81 @@
+"""Documentation integrity: README snippets run, inventory files exist."""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).parent.parent
+
+
+class TestReadme:
+    @pytest.fixture(scope="class")
+    def readme(self):
+        return (ROOT / "README.md").read_text()
+
+    @pytest.mark.slow
+    def test_quickstart_snippet_runs(self, readme):
+        blocks = re.findall(r"```python\n(.*?)```", readme, re.DOTALL)
+        assert blocks, "README lost its quickstart snippet"
+        exec(compile(blocks[0], "<README quickstart>", "exec"), {})
+
+    def test_referenced_examples_exist(self, readme):
+        for match in re.finditer(r"examples/(\w+)\.py", readme):
+            assert (ROOT / "examples" / f"{match.group(1)}.py").exists(), (
+                match.group(0)
+            )
+
+    def test_mentions_the_paper(self, readme):
+        assert "HPCA" in readme
+        assert "P-OPT" in readme
+
+
+class TestDesignDoc:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return (ROOT / "DESIGN.md").read_text()
+
+    def test_identity_check_present(self, design):
+        assert "Paper identity check" in design
+
+    def test_every_experiment_listed(self, design):
+        for experiment in (
+            "Fig. 2", "Fig. 4", "Fig. 7", "Fig. 10", "Fig. 11",
+            "Fig. 12a", "Fig. 12b", "Fig. 13", "Fig. 14", "Fig. 15",
+            "Fig. 16", "Table IV",
+        ):
+            assert experiment in design, experiment
+
+    def test_referenced_modules_exist(self, design):
+        for match in re.finditer(r"`(repro/[\w/]+\.py)`", design):
+            assert (ROOT / "src" / match.group(1)).exists(), match.group(1)
+
+    def test_referenced_benches_exist(self, design):
+        for match in re.finditer(r"`benchmarks/(bench_\w+)\.py`", design):
+            assert (
+                ROOT / "benchmarks" / f"{match.group(1)}.py"
+            ).exists(), match.group(1)
+
+
+class TestInventory:
+    def test_deliverables_present(self):
+        for path in (
+            "pyproject.toml",
+            "README.md",
+            "DESIGN.md",
+            "examples/quickstart.py",
+            "benchmarks/common.py",
+        ):
+            assert (ROOT / path).exists(), path
+
+    def test_bench_per_figure(self):
+        benches = {p.name for p in (ROOT / "benchmarks").glob("bench_*.py")}
+        for figure in ("fig02", "fig04", "fig07", "fig10", "fig11",
+                       "fig13", "fig14", "fig15", "fig16"):
+            assert any(figure in name for name in benches), figure
+        assert "bench_fig12_prior_work.py" in benches
+        assert "bench_tables.py" in benches
+
+    def test_at_least_three_examples(self):
+        examples = list((ROOT / "examples").glob("*.py"))
+        assert len(examples) >= 3

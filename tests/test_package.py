@@ -1,0 +1,101 @@
+"""Package-level tests: public API surface, errors, stats utilities."""
+
+import pytest
+
+import repro
+from repro.cache.stats import CacheStats
+from repro.errors import (
+    CacheConfigError,
+    GraphFormatError,
+    LayoutError,
+    PolicyError,
+    ReproError,
+    SimulationError,
+)
+from repro.popt.arch import PoptCounters
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackages_importable(self):
+        for name in ("graph", "memory", "cache", "policies", "popt",
+                     "apps", "sim"):
+            assert hasattr(repro, name)
+
+    def test_all_exports_resolve(self):
+        import repro.graph
+        import repro.cache
+        import repro.policies
+        import repro.popt
+        import repro.apps
+        import repro.sim
+
+        for module in (repro, repro.graph, repro.cache, repro.policies,
+                       repro.popt, repro.apps, repro.sim):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for error_cls in (GraphFormatError, LayoutError, CacheConfigError,
+                          PolicyError, SimulationError):
+            assert issubclass(error_cls, ReproError)
+            with pytest.raises(ReproError):
+                raise error_cls("x")
+
+
+class TestCacheStats:
+    def test_counting(self):
+        stats = CacheStats("x")
+        stats.record_hit()
+        stats.record_miss()
+        stats.record_miss()
+        assert stats.accesses == 3
+        assert stats.miss_rate == pytest.approx(2 / 3)
+        assert stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_mpki(self):
+        stats = CacheStats("x")
+        for _ in range(10):
+            stats.record_miss()
+        assert stats.mpki(1000) == pytest.approx(10.0)
+        assert stats.mpki(0) == 0.0
+
+    def test_empty(self):
+        stats = CacheStats("x")
+        assert stats.miss_rate == 0.0
+        assert stats.hit_rate == 0.0
+
+    def test_merge(self):
+        a = CacheStats("x", accesses=10, hits=6, misses=4, evictions=2)
+        b = CacheStats("x", accesses=5, hits=1, misses=4, evictions=3)
+        merged = a.merged_with(b)
+        assert merged.accesses == 15
+        assert merged.hits == 7
+        assert merged.evictions == 5
+
+    def test_as_dict(self):
+        stats = CacheStats("x")
+        stats.record_miss()
+        d = stats.as_dict()
+        assert d["misses"] == 1
+        assert d["miss_rate"] == 1.0
+
+
+class TestPoptCounters:
+    def test_tie_rate(self):
+        counters = PoptCounters()
+        assert counters.tie_rate() == 0.0
+        counters.replacements = 10
+        counters.ties = 3
+        assert counters.tie_rate() == pytest.approx(0.3)
+
+    def test_as_dict(self):
+        counters = PoptCounters(replacements=4, ties=1, rm_lookups=20)
+        d = counters.as_dict()
+        assert d["replacements"] == 4
+        assert d["tie_rate"] == 0.25
+        assert d["rm_lookups"] == 20
