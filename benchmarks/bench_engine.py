@@ -1,0 +1,47 @@
+"""Replay-engine throughput: three-phase fast engine vs reference path.
+
+Replays one PageRank trace under a four-policy LLC sweep with both
+engines. The fast engine decodes the trace once, filters the Bit-PLRU
+private levels once, and replays only the LLC-visible stream per policy;
+the reference path walks the full hierarchy per access per policy. The
+rows (and ``results/BENCH_engine.json``) record wall-time, accesses/sec,
+filter build/reuse counters, and the end-to-end speedup.
+"""
+
+from common import get_scale, report, run_once, write_engine_report
+
+from repro.sim.experiments import (
+    ENGINE_SWEEP_POLICIES,
+    engine_throughput_sweep,
+)
+
+
+def bench_engine_throughput(benchmark):
+    rows = run_once(benchmark, engine_throughput_sweep, scale=get_scale())
+    report(
+        "engine",
+        "Replay-engine throughput (4-policy LLC sweep)",
+        rows,
+        notes="fast = decode once + private-level filter once + "
+        "LLC-visible replay per policy; reference = full per-access "
+        "hierarchy walk per policy.",
+    )
+    path = write_engine_report(rows)
+    assert path.exists()
+
+    by_engine = {}
+    for row in rows:
+        by_engine.setdefault(row["engine"], []).append(row)
+    assert by_engine.get("reference") and by_engine.get("fast")
+    for row in rows:
+        assert row["accesses_per_s"] > 0, row
+    miss_columns = [f"misses_{p}" for p in ENGINE_SWEEP_POLICIES]
+    for ref, fast in zip(by_engine["reference"], by_engine["fast"]):
+        # Same LLC outcome from both engines...
+        for column in miss_columns:
+            assert ref[column] == fast[column], column
+        # ...with the private levels replayed exactly once...
+        assert fast["filters_built"] == 1
+        assert fast["filters_reused"] == len(ENGINE_SWEEP_POLICIES) - 1
+        # ...and an end-to-end sweep speedup of at least 2x.
+        assert fast["speedup_vs_reference"] >= 2.0, fast

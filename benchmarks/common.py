@@ -14,6 +14,7 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import Dict, List, Sequence
@@ -22,6 +23,7 @@ from repro.graph.datasets import graph_names
 from repro.sim.tables import format_table
 
 RESULTS_DIR = Path(__file__).parent / "results"
+ENGINE_REPORT = RESULTS_DIR / "BENCH_engine.json"
 
 
 def get_scale() -> str:
@@ -45,6 +47,21 @@ def report(experiment_id: str, title: str,
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{experiment_id}.txt").write_text(text)
+
+
+def write_engine_report(rows: List[Dict[str, object]]) -> Path:
+    """Persist replay-engine throughput rows as ``BENCH_engine.json``.
+
+    The report carries the three-phase engine's instrumentation (wall
+    time, accesses/sec, filter build/reuse counters, speedup over the
+    reference path) so CI can smoke-check that the engine is live and
+    actually faster than replaying the private levels per policy.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    ENGINE_REPORT.write_text(
+        json.dumps({"scale": get_scale(), "rows": rows}, indent=2) + "\n"
+    )
+    return ENGINE_REPORT
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -72,7 +72,15 @@ class PerEdgeAccess:
 
 @dataclass
 class PreparedRun:
-    """Everything the simulation driver needs for one kernel run."""
+    """Everything the simulation driver needs for one kernel run.
+
+    A prepared run is replayed under many LLC policies, so it also hosts
+    the replay engine's policy-independent caches: the decoded trace
+    (line addresses + metadata, phase 1) and the private-level filters
+    (the LLC-visible subsequence per L1/L2 geometry, phase 2), keyed by
+    hierarchy configuration. ``filter_counters`` records how often a
+    filter was built vs reused (throughput instrumentation).
+    """
 
     app_name: str
     layout: AddressSpace
@@ -80,10 +88,22 @@ class PreparedRun:
     irregular_streams: List[IrregularStream]
     reference_result: object = None
     details: Dict[str, object] = field(default_factory=dict)
+    private_filters: Dict[object, object] = field(
+        default_factory=dict, repr=False
+    )
+    filter_counters: Dict[str, int] = field(
+        default_factory=lambda: {"built": 0, "reused": 0}, repr=False
+    )
 
     @property
     def num_accesses(self) -> int:
         return len(self.trace)
+
+    def decoded(self, line_shift: int):
+        """Line-granular decode of the trace, memoized (engine phase 1)."""
+        from ..memory.trace import decode_trace
+
+        return decode_trace(self.trace, line_shift)
 
 
 class GraphApp:

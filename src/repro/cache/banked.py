@@ -102,7 +102,7 @@ class BankedLLC:
         # global line address so policies (base/bound checks, RM lookups)
         # see real addresses.
         set_idx = slice_.config.set_index(local)
-        hit = self._access_at(slice_, set_idx, line_addr, ctx)
+        hit = slice_.access_at(set_idx, line_addr, ctx)
         if not hit:
             base = self._irreg_base(line_addr)
             if base is not None:
@@ -114,28 +114,6 @@ class BankedLLC:
                 else:
                     self.remote_rm_lookups += 1
         return hit
-
-    @staticmethod
-    def _access_at(
-        cache: SetAssociativeCache,
-        set_idx: int,
-        line_addr: int,
-        ctx: AccessContext,
-    ) -> bool:
-        set_tags = cache.tags[set_idx]
-        try:
-            way = set_tags.index(line_addr)
-        except ValueError:
-            way = -1
-        if way >= 0:
-            cache.stats.record_hit()
-            if ctx.write:
-                cache.dirty[set_idx][way] = True
-            cache.policy.on_hit(set_idx, way, ctx)
-            return True
-        cache.stats.record_miss()
-        cache._fill(set_idx, line_addr, ctx)
-        return False
 
     # ------------------------------------------------------------------
 

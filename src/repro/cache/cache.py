@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+import numpy as np
+
 from ..errors import PolicyError
 from .config import CacheConfig
 from .stats import CacheStats
@@ -71,10 +73,34 @@ class SetAssociativeCache:
 
     # ------------------------------------------------------------------
 
+    def set_index(self, line_addr: int) -> int:
+        """Set index of one line address (mask fast path, else modulo)."""
+        mask = self.set_mask
+        return line_addr & mask if mask >= 0 else line_addr % self.num_sets
+
+    def set_indices(self, lines: np.ndarray) -> np.ndarray:
+        """Vectorized set indices for an array of line addresses.
+
+        The replay engine precomputes these once per trace; the scalar
+        and vectorized paths agree for any set count (power-of-two or
+        not — the paper's footnote-3 modulo indexing).
+        """
+        lines = np.asarray(lines, dtype=np.int64)
+        if self.set_mask >= 0:
+            return lines & self.set_mask
+        return lines % self.num_sets
+
     def access(self, line_addr: int, ctx: AccessContext) -> bool:
         """Look up a line-granular address; fill on miss. Returns hit."""
         mask = self.set_mask
         set_idx = line_addr & mask if mask >= 0 else line_addr % self.num_sets
+        return self.access_at(set_idx, line_addr, ctx)
+
+    def access_at(
+        self, set_idx: int, line_addr: int, ctx: AccessContext
+    ) -> bool:
+        """Access with a precomputed set index (banked LLCs index their
+        sets by the bank-local line, so the caller owns the mapping)."""
         set_tags = self.tags[set_idx]
         try:
             way = set_tags.index(line_addr)
@@ -101,13 +127,20 @@ class SetAssociativeCache:
 
         Returns True when the line was newly installed, False when it was
         already resident. Demand hit/miss stats are untouched; evictions
-        caused by the fill are counted normally.
+        caused by the fill are counted normally. The line always installs
+        clean: a prefetch moves data, it does not write it, so it must not
+        inherit a stale ``ctx.write`` flag and inflate writebacks later.
         """
         mask = self.set_mask
         set_idx = line_addr & mask if mask >= 0 else line_addr % self.num_sets
         if line_addr in self.tags[set_idx]:
             return False
-        self._fill(set_idx, line_addr, ctx)
+        saved_write = ctx.write
+        ctx.write = False
+        try:
+            self._fill(set_idx, line_addr, ctx)
+        finally:
+            ctx.write = saved_write
         return True
 
     def _fill(self, set_idx: int, line_addr: int, ctx: AccessContext) -> None:

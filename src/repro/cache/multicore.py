@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..errors import CacheConfigError
+from ..memory.trace import decode_trace
 from .cache import AccessContext, SetAssociativeCache
 from .config import HierarchyConfig
 from .hierarchy import LEVEL_DRAM, LEVEL_L1, LEVEL_L2, LEVEL_LLC
@@ -93,17 +94,10 @@ def replay_multicore(
     approximates unsynchronized cores making similar forward progress.
     """
     cursors = [0] * len(per_core_traces)
-    streams = []
-    for trace in per_core_traces:
-        shift = hierarchy.line_shift
-        streams.append(
-            (
-                (trace.addresses >> shift).tolist(),
-                trace.pcs.tolist(),
-                trace.writes.tolist(),
-                trace.vertices.tolist(),
-            )
-        )
+    streams = [
+        decode_trace(trace, hierarchy.line_shift).as_lists()
+        for trace in per_core_traces
+    ]
     ctx = AccessContext()
     live = set(range(len(per_core_traces)))
     index = 0

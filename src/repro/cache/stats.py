@@ -45,6 +45,23 @@ class CacheStats:
         """Misses per kilo-instruction."""
         return 1000.0 * self.misses / instructions if instructions else 0.0
 
+    def copy(self) -> "CacheStats":
+        """Independent snapshot of all counters.
+
+        ``SimResult`` and the replay-engine filter cache hold snapshots
+        rather than live stat blocks; copying here (instead of
+        field-by-field at every call site) means a new counter can't be
+        silently dropped from results.
+        """
+        return CacheStats(
+            name=self.name,
+            accesses=self.accesses,
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            writebacks=self.writebacks,
+        )
+
     def merged_with(self, other: "CacheStats") -> "CacheStats":
         """Sum of two stat blocks (multi-iteration aggregation)."""
         return CacheStats(

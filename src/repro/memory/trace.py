@@ -21,7 +21,14 @@ import numpy as np
 
 from ..errors import SimulationError
 
-__all__ = ["AccessKind", "MemoryTrace", "TraceBuilder", "concat_traces"]
+__all__ = [
+    "AccessKind",
+    "MemoryTrace",
+    "DecodedTrace",
+    "decode_trace",
+    "TraceBuilder",
+    "concat_traces",
+]
 
 
 class AccessKind:
@@ -151,6 +158,62 @@ class MemoryTrace:
         """Per-access-kind counts (useful for tests and reports)."""
         unique, counts = np.unique(self.pcs, return_counts=True)
         return {int(k): int(c) for k, c in zip(unique, counts)}
+
+
+@dataclass
+class DecodedTrace:
+    """A trace decoded to cache-line granularity (replay-engine phase 1).
+
+    Holds the line-granular addresses alongside the per-access metadata
+    channels, plus a lazily materialized plain-list view for the
+    per-access replay loops (list indexing beats numpy scalar access in
+    the interpreter's hot loop).
+    """
+
+    lines: np.ndarray      # int64 line-granular addresses
+    pcs: np.ndarray        # uint8 access-site IDs
+    writes: np.ndarray     # bool store flags
+    vertices: np.ndarray   # int32 outer-loop vertex per access
+
+    def __post_init__(self) -> None:
+        self._lists = None
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    def as_lists(self) -> Tuple[list, list, list, list]:
+        """(lines, pcs, writes, vertices) as plain Python lists, memoized."""
+        if self._lists is None:
+            self._lists = (
+                self.lines.tolist(),
+                self.pcs.tolist(),
+                self.writes.tolist(),
+                self.vertices.tolist(),
+            )
+        return self._lists
+
+
+def decode_trace(trace: MemoryTrace, line_shift: int) -> DecodedTrace:
+    """Decode ``trace`` to line granularity, memoized per (trace, shift).
+
+    Every replay loop (driver, prefetch, multicore, engine) shares this
+    decode, so one prepared run pays the address-shift and ``.tolist()``
+    conversions once per line size rather than once per policy replay.
+    """
+    cache = getattr(trace, "_decoded", None)
+    if cache is None:
+        cache = {}
+        object.__setattr__(trace, "_decoded", cache)
+    decoded = cache.get(line_shift)
+    if decoded is None:
+        decoded = DecodedTrace(
+            lines=trace.addresses >> line_shift,
+            pcs=trace.pcs,
+            writes=trace.writes,
+            vertices=trace.vertices,
+        )
+        cache[line_shift] = decoded
+    return decoded
 
 
 class TraceBuilder:

@@ -15,7 +15,7 @@ from typing import Dict, Optional
 
 from ..cache.cache import AccessContext
 from ..cache.hierarchy import CacheHierarchy, LEVEL_DRAM
-from ..memory.trace import MemoryTrace
+from ..memory.trace import MemoryTrace, decode_trace
 from .base import Prefetcher, PrefetchStats
 
 __all__ = ["replay_with_prefetcher"]
@@ -30,11 +30,9 @@ def replay_with_prefetcher(
     stats = PrefetchStats()
     ctx = AccessContext()
     prefetch_ctx = AccessContext()
-    shift = hierarchy.line_shift
-    lines = (trace.addresses >> shift).tolist()
-    pcs = trace.pcs.tolist()
-    writes = trace.writes.tolist()
-    vertices = trace.vertices.tolist()
+    lines, pcs, writes, vertices = decode_trace(
+        trace, hierarchy.line_shift
+    ).as_lists()
     access_line = hierarchy.access_line
     llc = hierarchy.llc
     pending: Dict[int, bool] = {}

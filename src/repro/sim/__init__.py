@@ -7,6 +7,7 @@ from .analysis import (
     reuse_distances,
 )
 from .driver import (
+    ENGINES,
     POPT_POLICIES,
     SimResult,
     grasp_ranges_for,
@@ -16,6 +17,7 @@ from .driver import (
     simulate,
     simulate_prepared,
 )
+from .engine import ReplayEngine, build_private_filter, get_private_filter
 from .plots import grouped_bars, hbar_chart, sparkline
 from .tables import format_table, table1_rows, table2_rows, table3_rows
 from .timing import TimingModel
@@ -29,6 +31,10 @@ __all__ = [
     "grasp_ranges_for",
     "prepare_dbg_run",
     "POPT_POLICIES",
+    "ENGINES",
+    "ReplayEngine",
+    "build_private_filter",
+    "get_private_filter",
     "TimingModel",
     "ReuseProfile",
     "reuse_distances",

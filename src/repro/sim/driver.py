@@ -27,11 +27,13 @@ from ..cache.stats import MPKI_INSTRUCTIONS_PER_ACCESS, CacheStats
 from ..errors import SimulationError
 from ..graph.csr import CSRGraph
 from ..graph.reorder import DbgLayout, apply_order, dbg_order
+from ..memory.trace import decode_trace
 from ..policies.registry import PolicyContext, make_policy
 from ..popt.arch import reserved_ways
 from ..popt.policy import POPT, PoptStream
 from ..popt.rereference import build_rereference_matrix
 from ..popt.topt import TOPT
+from .engine import ReplayEngine, llc_visible_next_use
 from .timing import TimingModel
 
 __all__ = [
@@ -43,7 +45,15 @@ __all__ = [
     "grasp_ranges_for",
     "prepare_dbg_run",
     "POPT_POLICIES",
+    "ENGINES",
 ]
+
+#: Replay engines accepted by :func:`simulate_prepared`. ``fast`` is the
+#: three-phase engine (decode once, filter the private levels once per
+#: hierarchy, replay only the LLC-visible stream per policy);
+#: ``reference`` is the original per-access full-hierarchy walk, kept as
+#: the equivalence baseline.
+ENGINES = ("fast", "reference")
 
 #: Policy names handled by the driver itself rather than the registry.
 POPT_POLICIES = ("T-OPT", "P-OPT", "P-OPT-Inter", "P-OPT-SE")
@@ -104,13 +114,11 @@ def prepare_run(app: GraphApp, graph: CSRGraph, **params) -> PreparedRun:
 
 
 def replay(trace, hierarchy: CacheHierarchy) -> None:
-    """Replay a trace through the hierarchy (the simulator's hot loop)."""
+    """Replay a trace through the hierarchy (the reference hot loop)."""
     ctx = AccessContext()
-    shift = hierarchy.line_shift
-    lines = (trace.addresses >> shift).tolist()
-    pcs = trace.pcs.tolist()
-    writes = trace.writes.tolist()
-    vertices = trace.vertices.tolist()
+    lines, pcs, writes, vertices = decode_trace(
+        trace, hierarchy.line_shift
+    ).as_lists()
     access_line = hierarchy.access_line
     for index in range(len(lines)):
         ctx.pc = pcs[index]
@@ -120,49 +128,22 @@ def replay(trace, hierarchy: CacheHierarchy) -> None:
         access_line(lines[index], ctx)
 
 
-def llc_filtered_next_use(trace, hierarchy_config: HierarchyConfig) -> np.ndarray:
+def llc_filtered_next_use(
+    trace,
+    hierarchy_config: HierarchyConfig,
+    prepared: Optional[PreparedRun] = None,
+) -> np.ndarray:
     """Next-use indices over the accesses that actually reach the LLC.
 
-    Replays the trace through fresh L1/L2 caches (Bit-PLRU, deterministic,
-    identical to what the measured run will contain) to find which accesses
-    miss both private levels, then scans backwards so that every access's
+    L1/L2 run deterministic, policy-independent Bit-PLRU, so the set of
+    accesses that miss both private levels is the same in every measured
+    run. The mask comes from the replay engine's shared private-level
+    filter — cached on ``prepared`` when given, so Belady's oracle does
+    not replay the private levels a second time — and every access's
     stored value is the index of the line's next *LLC-visible* access
     (``len(trace)`` when there is none).
     """
-    from ..cache.cache import SetAssociativeCache
-    from ..policies.plru import BitPLRU
-
-    n = len(trace)
-    shift = hierarchy_config.line_size.bit_length() - 1
-    lines = (trace.addresses >> shift).tolist()
-    reaches_llc = [True] * n
-    levels = [
-        SetAssociativeCache(cfg, BitPLRU())
-        for cfg in (hierarchy_config.l1, hierarchy_config.l2)
-        if cfg is not None
-    ]
-    if levels:
-        ctx = AccessContext()
-        for index in range(n):
-            ctx.index = index
-            line = lines[index]
-            hit = False
-            for level in levels:
-                if level.access(line, ctx):
-                    hit = True
-                    break
-            reaches_llc[index] = not hit
-    next_use = np.full(n, n, dtype=np.int64)
-    last_seen: Dict[int, int] = {}
-    for index in range(n - 1, -1, -1):
-        if not reaches_llc[index]:
-            continue
-        line = lines[index]
-        seen = last_seen.get(line)
-        if seen is not None:
-            next_use[index] = seen
-        last_seen[line] = index
-    return next_use
+    return llc_visible_next_use(trace, hierarchy_config, prepared=prepared)
 
 
 def _build_popt_policy(
@@ -195,13 +176,23 @@ def simulate_prepared(
     account_capacity: bool = True,
     timing: Optional[TimingModel] = None,
     policy_context: Optional[PolicyContext] = None,
+    engine: str = "fast",
 ) -> SimResult:
     """Replay a prepared run under the named LLC policy.
 
     ``account_capacity=True`` applies P-OPT's way reservation (the
     Rereference Matrix columns consume LLC ways); ``False`` gives the
     limit-study configuration of Fig. 15.
+
+    ``engine`` selects the replay path: ``"fast"`` (default) shares the
+    decoded trace and the one-time private-level filter across policies
+    and replays only the LLC-visible stream; ``"reference"`` walks the
+    full hierarchy per access. Both produce bit-identical stats.
     """
+    if engine not in ENGINES:
+        raise SimulationError(
+            f"unknown engine {engine!r}; choose from {ENGINES}"
+        )
     line_size = hierarchy_config.line_size
     reserved = 0
     preprocessing = 0.0
@@ -231,10 +222,10 @@ def simulate_prepared(
         if policy_name == "OPT" and ctx.next_use is None:
             # Belady at the LLC must rank lines by their next *LLC* access:
             # accesses absorbed by L1/L2 never reach it, so next-use is
-            # computed over the LLC-visible subsequence (found by replaying
-            # the private levels, which are policy-independent).
+            # computed over the LLC-visible subsequence (the engine's
+            # cached private-level filter, shared with the replay below).
             ctx.next_use = llc_filtered_next_use(
-                prepared.trace, hierarchy_config
+                prepared.trace, hierarchy_config, prepared=prepared
             )
         llc_policy = make_policy(policy_name, ctx)
 
@@ -248,16 +239,31 @@ def simulate_prepared(
             )
         llc_config = llc_config.with_ways(remaining)
 
-    effective_config = HierarchyConfig(
-        llc=llc_config,
-        l1=hierarchy_config.l1,
-        l2=hierarchy_config.l2,
-        dram_latency_ns=hierarchy_config.dram_latency_ns,
-        frequency_ghz=hierarchy_config.frequency_ghz,
-        num_nuca_banks=hierarchy_config.num_nuca_banks,
-    )
-    hierarchy = CacheHierarchy(effective_config, llc_policy)
-    replay(prepared.trace, hierarchy)
+    replay_start = time.perf_counter()
+    if engine == "fast":
+        run = ReplayEngine(prepared, hierarchy_config).run(
+            llc_policy, llc_config=llc_config
+        )
+        levels = run.levels
+        level_counts = run.level_counts
+        llc_stats = levels[-1]
+        llc_visible = run.filter.llc_visible
+    else:
+        effective_config = HierarchyConfig(
+            llc=llc_config,
+            l1=hierarchy_config.l1,
+            l2=hierarchy_config.l2,
+            dram_latency_ns=hierarchy_config.dram_latency_ns,
+            frequency_ghz=hierarchy_config.frequency_ghz,
+            num_nuca_banks=hierarchy_config.num_nuca_banks,
+        )
+        hierarchy = CacheHierarchy(effective_config, llc_policy)
+        replay(prepared.trace, hierarchy)
+        levels = hierarchy.stats_snapshot()
+        level_counts = list(hierarchy.level_counts)
+        llc_stats = levels[-1]
+        llc_visible = llc_stats.accesses
+    replay_seconds = time.perf_counter() - replay_start
 
     num_accesses = len(prepared.trace)
     instructions = int(round(num_accesses * MPKI_INSTRUCTIONS_PER_ACCESS))
@@ -266,7 +272,7 @@ def simulate_prepared(
         popt_policy.counters.as_dict() if popt_policy is not None else None
     )
     cycles = model.cycles(
-        level_counts=hierarchy.level_counts,
+        level_counts=level_counts,
         instructions=instructions,
         popt_bytes_streamed=(
             popt_policy.counters.bytes_streamed if popt_policy else 0
@@ -274,30 +280,31 @@ def simulate_prepared(
         popt_rm_lookups=(
             popt_policy.counters.rm_lookups if popt_policy else 0
         ),
-        llc_writebacks=hierarchy.llc.stats.writebacks,
+        llc_writebacks=llc_stats.writebacks,
     )
+    details: Dict[str, object] = dict(prepared.details)
+    details["engine"] = {
+        "name": engine,
+        "replay_seconds": replay_seconds,
+        "accesses_per_second": (
+            num_accesses / replay_seconds if replay_seconds > 0 else 0.0
+        ),
+        "llc_visible_accesses": llc_visible,
+        "filters_built": prepared.filter_counters["built"],
+        "filters_reused": prepared.filter_counters["reused"],
+    }
     return SimResult(
         app_name=prepared.app_name,
         policy_name=policy_name,
-        levels=[
-            CacheStats(
-                name=s.name,
-                accesses=s.accesses,
-                hits=s.hits,
-                misses=s.misses,
-                evictions=s.evictions,
-                writebacks=s.writebacks,
-            )
-            for s in hierarchy.all_stats()
-        ],
-        level_counts=list(hierarchy.level_counts),
+        levels=levels,
+        level_counts=level_counts,
         num_accesses=num_accesses,
         instructions=instructions,
         cycles=cycles,
         reserved_llc_ways=reserved,
         popt_counters=counters,
         preprocessing_seconds=preprocessing,
-        details=dict(prepared.details),
+        details=details,
     )
 
 

@@ -1,0 +1,345 @@
+"""Three-phase replay engine (decode once / filter once / replay LLC).
+
+Every P-OPT experiment replays one prepared kernel trace under many LLC
+policies. The levels above the LLC are policy-*independent*: L1 and L2
+always run Bit-PLRU (Table I) and never see feedback from the LLC (the
+hierarchy is non-inclusive fill-on-miss, so each level's state depends
+only on the access stream it observes). The engine exploits that:
+
+1. **Decode once** — line addresses and per-access metadata are computed
+   as numpy arrays and memoized on the trace/:class:`PreparedRun`
+   (:func:`repro.memory.trace.decode_trace`), instead of four
+   ``.tolist()`` copies per policy replay.
+2. **Filter once** — the Bit-PLRU private levels are replayed a single
+   time per ``(PreparedRun, private-level geometry)``; the resulting
+   LLC-visible mask, filtered subsequence, and exact L1/L2 stats are
+   cached on the prepared run (:func:`get_private_filter`). The private
+   replay itself is restructured *per set* — sets of a set-associative
+   cache are independent, so accesses are grouped by set index with one
+   vectorized stable sort and each set is simulated over its own compact
+   subsequence.
+3. **Replay per policy** — only the filtered subsequence runs through a
+   fresh LLC, with original trace indices/vertices/PCs in the
+   :class:`AccessContext` so oracle policies (OPT, T-OPT, P-OPT) see
+   exactly what they would have seen behind real private levels.
+
+The per-access reference path (full :class:`CacheHierarchy` walk) stays
+available via ``simulate_prepared(..., engine="reference")``; the
+equivalence suite in ``tests/sim/test_engine.py`` proves both paths
+produce identical per-level hit/miss/eviction/writeback counts for every
+registered policy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..apps.base import PreparedRun
+from ..cache.cache import INVALID_TAG, AccessContext, SetAssociativeCache
+from ..cache.config import CacheConfig, HierarchyConfig
+from ..cache.stats import CacheStats
+from ..errors import SimulationError
+from ..memory.trace import MemoryTrace, decode_trace
+
+__all__ = [
+    "PrivateFilter",
+    "EngineRun",
+    "ReplayEngine",
+    "build_private_filter",
+    "get_private_filter",
+    "llc_visible_next_use",
+]
+
+
+def _replay_bit_plru_level(
+    lines: np.ndarray, writes: np.ndarray, config: CacheConfig
+) -> Tuple[np.ndarray, CacheStats]:
+    """Exact Bit-PLRU set-associative replay of one private level.
+
+    Returns ``(hit_mask, stats)`` where ``hit_mask[i]`` says whether
+    access ``i`` (of the stream this level observes) hit. Semantically
+    identical to ``SetAssociativeCache(config, BitPLRU())`` fed the same
+    stream — same fill, eviction, dirty, and MRU-bit rules — but grouped
+    by set: a stable argsort partitions the accesses into per-set
+    subsequences (sets never interact), and each set is simulated with a
+    tight loop over plain lists.
+    """
+    n = len(lines)
+    stats = CacheStats(config.name)
+    hit_mask = np.zeros(n, dtype=bool)
+    if n == 0:
+        return hit_mask, stats
+    num_sets = config.num_sets
+    num_ways = config.num_ways
+    if config.sets_are_power_of_two:
+        set_idx = lines & (num_sets - 1)
+    else:
+        set_idx = lines % num_sets
+    order = np.argsort(set_idx, kind="stable")
+    counts = np.bincount(set_idx, minlength=num_sets)
+    sorted_lines = lines[order].tolist()
+    sorted_writes = writes[order].tolist()
+
+    hits = misses = evictions = writebacks = 0
+    hit_flags: List[bool] = []
+    start = 0
+    for count in counts.tolist():
+        if not count:
+            continue
+        stop = start + count
+        tags = [INVALID_TAG] * num_ways
+        mru = [False] * num_ways
+        dirty = [False] * num_ways
+        for k in range(start, stop):
+            line = sorted_lines[k]
+            try:
+                way = tags.index(line)
+            except ValueError:
+                way = -1
+            if way >= 0:
+                hits += 1
+                hit_flags.append(True)
+                if sorted_writes[k]:
+                    dirty[way] = True
+            else:
+                misses += 1
+                hit_flags.append(False)
+                try:
+                    way = tags.index(INVALID_TAG)
+                except ValueError:
+                    try:
+                        way = mru.index(False)  # Bit-PLRU victim
+                    except ValueError:  # single-way degenerate case
+                        way = 0
+                    evictions += 1
+                    if dirty[way]:
+                        writebacks += 1
+                tags[way] = line
+                dirty[way] = sorted_writes[k]
+            # Bit-PLRU touch: set the MRU bit; when the last zero bit
+            # would disappear, clear every *other* bit.
+            mru[way] = True
+            if all(mru):
+                mru = [False] * num_ways
+                mru[way] = True
+        start = stop
+
+    hit_mask[order] = hit_flags
+    stats.accesses = n
+    stats.hits = hits
+    stats.misses = misses
+    stats.evictions = evictions
+    stats.writebacks = writebacks
+    return hit_mask, stats
+
+
+@dataclass
+class PrivateFilter:
+    """Cached result of replaying the private levels once (phase 2)."""
+
+    key: tuple
+    num_accesses: int
+    mask: np.ndarray                 # True where the access reaches the LLC
+    l1_stats: Optional[CacheStats]   # exact snapshots (copy() before use)
+    l2_stats: Optional[CacheStats]
+    l1_hits: int
+    l2_hits: int
+    # LLC-visible subsequence as plain lists (hot-loop friendly).
+    lines: list
+    pcs: list
+    writes: list
+    vertices: list
+    indices: list                    # original trace positions
+
+    @property
+    def llc_visible(self) -> int:
+        return len(self.lines)
+
+    def level_stats(self) -> List[CacheStats]:
+        """Fresh copies of the private-level stats, in hierarchy order."""
+        return [
+            stats.copy()
+            for stats in (self.l1_stats, self.l2_stats)
+            if stats is not None
+        ]
+
+
+def filter_key(config: HierarchyConfig) -> tuple:
+    """Cache key for a private filter: everything above the LLC."""
+    return (config.l1, config.l2, config.line_size)
+
+
+def build_private_filter(
+    trace: MemoryTrace, config: HierarchyConfig
+) -> PrivateFilter:
+    """Replay the deterministic Bit-PLRU private levels once."""
+    line_shift = config.line_size.bit_length() - 1
+    decoded = decode_trace(trace, line_shift)
+    n = len(decoded)
+    visible_idx = np.arange(n, dtype=np.int64)
+    vis_lines = decoded.lines
+    vis_writes = decoded.writes
+
+    l1_stats = l2_stats = None
+    l1_hits = l2_hits = 0
+    if config.l1 is not None:
+        hit, l1_stats = _replay_bit_plru_level(vis_lines, vis_writes, config.l1)
+        l1_hits = l1_stats.hits
+        miss = ~hit
+        visible_idx = visible_idx[miss]
+        vis_lines = vis_lines[miss]
+        vis_writes = vis_writes[miss]
+    if config.l2 is not None:
+        hit, l2_stats = _replay_bit_plru_level(vis_lines, vis_writes, config.l2)
+        l2_hits = l2_stats.hits
+        miss = ~hit
+        visible_idx = visible_idx[miss]
+        vis_lines = vis_lines[miss]
+        vis_writes = vis_writes[miss]
+
+    mask = np.zeros(n, dtype=bool)
+    mask[visible_idx] = True
+    return PrivateFilter(
+        key=filter_key(config),
+        num_accesses=n,
+        mask=mask,
+        l1_stats=l1_stats,
+        l2_stats=l2_stats,
+        l1_hits=l1_hits,
+        l2_hits=l2_hits,
+        lines=vis_lines.tolist(),
+        pcs=decoded.pcs[visible_idx].tolist(),
+        writes=vis_writes.tolist(),
+        vertices=decoded.vertices[visible_idx].tolist(),
+        indices=visible_idx.tolist(),
+    )
+
+
+def get_private_filter(
+    prepared: PreparedRun, config: HierarchyConfig
+) -> PrivateFilter:
+    """Fetch (or build and cache) the run's filter for this geometry."""
+    key = filter_key(config)
+    cached = prepared.private_filters.get(key)
+    if cached is not None:
+        prepared.filter_counters["reused"] += 1
+        return cached
+    built = build_private_filter(prepared.trace, config)
+    prepared.private_filters[key] = built
+    prepared.filter_counters["built"] += 1
+    return built
+
+
+@dataclass
+class EngineRun:
+    """Outcome of replaying one policy through the engine."""
+
+    levels: List[CacheStats]       # L1/L2 snapshots + live LLC stats copy
+    level_counts: List[int]        # indexed by LEVEL_* constants
+    llc: SetAssociativeCache
+    seconds: float
+    filter: PrivateFilter
+
+    @property
+    def accesses_per_second(self) -> float:
+        total = self.filter.num_accesses
+        return total / self.seconds if self.seconds > 0 else 0.0
+
+
+class ReplayEngine:
+    """Replays one prepared run under many LLC policies, sharing the
+    decoded trace and the private-level filter across all of them."""
+
+    def __init__(
+        self, prepared: PreparedRun, hierarchy_config: HierarchyConfig
+    ) -> None:
+        self.prepared = prepared
+        self.hierarchy_config = hierarchy_config
+
+    def run(
+        self,
+        llc_policy,
+        llc_config: Optional[CacheConfig] = None,
+    ) -> EngineRun:
+        """Replay the LLC-visible subsequence under ``llc_policy``.
+
+        ``llc_config`` overrides the hierarchy's LLC geometry (P-OPT's
+        way reservation shrinks the data ways).
+        """
+        start = time.perf_counter()
+        filt = get_private_filter(self.prepared, self.hierarchy_config)
+        if llc_config is None:
+            llc_config = self.hierarchy_config.llc
+        llc = SetAssociativeCache(llc_config, llc_policy)
+
+        ctx = AccessContext()
+        lines = filt.lines
+        pcs = filt.pcs
+        writes = filt.writes
+        vertices = filt.vertices
+        indices = filt.indices
+        access = llc.access
+        for k in range(len(lines)):
+            ctx.pc = pcs[k]
+            ctx.index = indices[k]
+            ctx.vertex = vertices[k]
+            ctx.write = writes[k]
+            access(lines[k], ctx)
+
+        seconds = time.perf_counter() - start
+        levels = filt.level_stats() + [llc.stats.copy()]
+        level_counts = [
+            0,
+            filt.l1_hits,
+            filt.l2_hits,
+            llc.stats.hits,
+            llc.stats.misses,
+        ]
+        return EngineRun(
+            levels=levels,
+            level_counts=level_counts,
+            llc=llc,
+            seconds=seconds,
+            filter=filt,
+        )
+
+
+def llc_visible_next_use(
+    trace: MemoryTrace,
+    config: HierarchyConfig,
+    prepared: Optional[PreparedRun] = None,
+) -> np.ndarray:
+    """Next-use indices over the accesses that actually reach the LLC.
+
+    Belady at the LLC must rank lines by their next *LLC* access;
+    accesses absorbed by L1/L2 never reach it. The LLC-visible mask comes
+    from the shared private-level filter (cached on ``prepared`` when
+    given), and the next-use chain is computed with one vectorized
+    grouped sort instead of a backward Python scan: sorting the visible
+    positions by (line, position) makes each access's successor its
+    neighbor in sort order. Accesses with no later LLC-visible reference
+    — including all private-level hits — get ``len(trace)``.
+    """
+    if prepared is not None and prepared.trace is not trace:
+        raise SimulationError("prepared.trace does not match trace")
+    if prepared is not None:
+        filt = get_private_filter(prepared, config)
+    else:
+        filt = build_private_filter(trace, config)
+    n = filt.num_accesses
+    next_use = np.full(n, n, dtype=np.int64)
+    visible = np.nonzero(filt.mask)[0]
+    if len(visible) == 0:
+        return next_use
+    line_shift = config.line_size.bit_length() - 1
+    lines = decode_trace(trace, line_shift).lines[visible]
+    order = np.lexsort((visible, lines))
+    sorted_lines = lines[order]
+    sorted_pos = visible[order]
+    same_line = sorted_lines[:-1] == sorted_lines[1:]
+    next_use[sorted_pos[:-1][same_line]] = sorted_pos[1:][same_line]
+    return next_use

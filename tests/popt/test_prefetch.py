@@ -176,3 +176,45 @@ class TestEndToEnd:
         __, prepared = setup
         __, stats = self._run(prepared, NextLinePrefetcher())
         assert stats.useful + stats.useless == stats.issued
+
+
+class TestInstallStaysClean:
+    """Regression: a prefetched line must install clean — it moves data,
+    it does not write it — so it can never inherit a preceding demand
+    store's write flag and inflate writebacks when later evicted."""
+
+    def test_install_ignores_inherited_write_flag(self):
+        from repro.cache.cache import SetAssociativeCache
+        from repro.policies.lru import LRU
+
+        cache = SetAssociativeCache(
+            CacheConfig("LLC", num_sets=1, num_ways=2), LRU()
+        )
+        dirty_ctx = AccessContext(write=True)  # stale demand-store flag
+        assert cache.install(5, dirty_ctx)
+        assert dirty_ctx.write is True  # caller's context is untouched
+        # Evict line 5 with demand reads: no writeback may appear.
+        read_ctx = AccessContext()
+        for line in (1, 2, 3):
+            cache.access(line, read_ctx)
+        assert 5 not in cache.resident_lines()
+        assert cache.stats.writebacks == 0
+
+    def test_prefetched_line_after_demand_store_not_written_back(self):
+        hierarchy = llc_only()
+        # A demand store to line 0; the next-line prefetcher installs
+        # line 1 right after it from the same observation.
+        trace = MemoryTrace(
+            addresses=np.array([0], np.int64),
+            pcs=np.ones(1, np.uint8),
+            writes=np.ones(1, bool),
+            vertices=np.zeros(1, np.int32),
+        )
+        replay_with_prefetcher(trace, hierarchy, NextLinePrefetcher())
+        llc = hierarchy.llc
+        assert sorted(llc.resident_lines()) == [0, 1]
+        # Force both lines out: only the demand store's line is dirty.
+        ctx = AccessContext()
+        for line in range(2, 2 + 4 * 4 * 2):
+            llc.access(line, ctx)
+        assert llc.stats.writebacks == 1

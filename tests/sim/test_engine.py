@@ -1,0 +1,308 @@
+"""Replay-engine tests: equivalence with the reference path, filter
+caching, vectorized set-index and next-use computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import PageRank
+from repro.cache import CacheConfig, HierarchyConfig
+from repro.cache.cache import AccessContext, SetAssociativeCache
+from repro.graph import power_law, uniform_random
+from repro.policies.lru import LRU
+from repro.policies.plru import BitPLRU
+from repro.policies.registry import PolicyContext, policy_names
+from repro.sim import (
+    ReplayEngine,
+    build_private_filter,
+    prepare_dbg_run,
+    grasp_ranges_for,
+    prepare_run,
+    simulate_prepared,
+)
+from repro.sim.driver import POPT_POLICIES, llc_filtered_next_use
+
+
+def small_hierarchy():
+    return HierarchyConfig(
+        l1=CacheConfig("L1", num_sets=2, num_ways=8),
+        l2=CacheConfig("L2", num_sets=4, num_ways=8),
+        llc=CacheConfig("LLC", num_sets=8, num_ways=16),
+    )
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    return small_hierarchy()
+
+
+@pytest.fixture(scope="module", params=["urand", "plaw"])
+def prepared(request):
+    if request.param == "urand":
+        graph = uniform_random(512, avg_degree=6.0, seed=7)
+    else:
+        graph = power_law(512, avg_degree=6.0, seed=11)
+    return prepare_run(PageRank(), graph)
+
+
+def assert_results_match(fast, reference):
+    assert fast.level_counts == reference.level_counts
+    assert len(fast.levels) == len(reference.levels)
+    for a, b in zip(fast.levels, reference.levels):
+        assert a.name == b.name
+        assert a.accesses == b.accesses
+        assert a.hits == b.hits
+        assert a.misses == b.misses
+        assert a.evictions == b.evictions
+        assert a.writebacks == b.writebacks
+    assert fast.cycles == reference.cycles
+
+
+class TestEngineEquivalence:
+    """The fast engine reproduces the reference path bit-for-bit."""
+
+    @pytest.mark.parametrize(
+        "policy", sorted(set(policy_names()) - {"GRASP"})
+    )
+    def test_registry_policies(self, prepared, hierarchy, policy):
+        fast = simulate_prepared(prepared, policy, hierarchy, engine="fast")
+        ref = simulate_prepared(
+            prepared, policy, hierarchy, engine="reference"
+        )
+        assert_results_match(fast, ref)
+
+    @pytest.mark.parametrize("policy", POPT_POLICIES)
+    def test_topt_and_popt_variants(self, prepared, hierarchy, policy):
+        fast = simulate_prepared(prepared, policy, hierarchy, engine="fast")
+        ref = simulate_prepared(
+            prepared, policy, hierarchy, engine="reference"
+        )
+        assert_results_match(fast, ref)
+
+    def test_grasp(self, hierarchy):
+        graph = uniform_random(512, avg_degree=6.0, seed=7)
+        prepared_dbg, layout_info = prepare_dbg_run(PageRank(), graph)
+        hot, warm = grasp_ranges_for(prepared_dbg, layout_info)
+        results = [
+            simulate_prepared(
+                prepared_dbg,
+                "GRASP",
+                hierarchy,
+                policy_context=PolicyContext(hot_range=hot, warm_range=warm),
+                engine=engine,
+            )
+            for engine in ("fast", "reference")
+        ]
+        assert_results_match(*results)
+
+    def test_llc_only_hierarchy(self, prepared):
+        config = HierarchyConfig(
+            llc=CacheConfig("LLC", num_sets=8, num_ways=16)
+        )
+        fast = simulate_prepared(prepared, "LRU", config, engine="fast")
+        ref = simulate_prepared(prepared, "LRU", config, engine="reference")
+        assert_results_match(fast, ref)
+        assert fast.llc.accesses == fast.num_accesses
+
+    def test_unknown_engine_rejected(self, prepared, hierarchy):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            simulate_prepared(prepared, "LRU", hierarchy, engine="warp")
+
+
+class TestFilterCaching:
+    def test_policy_sweep_replays_private_levels_once(self, hierarchy):
+        graph = uniform_random(512, avg_degree=6.0, seed=3)
+        prepared = prepare_run(PageRank(), graph)
+        policies = ("LRU", "DRRIP", "SRRIP", "Bit-PLRU", "SHiP-PC")
+        for policy in policies:
+            result = simulate_prepared(
+                prepared, policy, hierarchy, engine="fast"
+            )
+        assert prepared.filter_counters["built"] == 1
+        assert prepared.filter_counters["reused"] == len(policies) - 1
+        engine_details = result.details["engine"]
+        assert engine_details["name"] == "fast"
+        assert engine_details["filters_built"] == 1
+        assert engine_details["accesses_per_second"] > 0
+
+    def test_distinct_geometries_build_distinct_filters(self):
+        graph = uniform_random(512, avg_degree=6.0, seed=3)
+        prepared = prepare_run(PageRank(), graph)
+        simulate_prepared(prepared, "LRU", small_hierarchy(), engine="fast")
+        bigger = HierarchyConfig(
+            l1=CacheConfig("L1", num_sets=4, num_ways=8),
+            l2=CacheConfig("L2", num_sets=8, num_ways=8),
+            llc=CacheConfig("LLC", num_sets=8, num_ways=16),
+        )
+        simulate_prepared(prepared, "LRU", bigger, engine="fast")
+        assert prepared.filter_counters["built"] == 2
+        # A different LLC behind the same private levels reuses the filter.
+        wider_llc = HierarchyConfig(
+            l1=bigger.l1,
+            l2=bigger.l2,
+            llc=CacheConfig("LLC", num_sets=16, num_ways=8),
+        )
+        simulate_prepared(prepared, "LRU", wider_llc, engine="fast")
+        assert prepared.filter_counters["built"] == 2
+        assert prepared.filter_counters["reused"] == 1
+
+    def test_opt_shares_filter_with_replay(self, hierarchy):
+        graph = uniform_random(512, avg_degree=6.0, seed=3)
+        prepared = prepare_run(PageRank(), graph)
+        simulate_prepared(prepared, "OPT", hierarchy, engine="fast")
+        # One build total: the Belady oracle and the LLC replay share it.
+        assert prepared.filter_counters["built"] == 1
+
+
+class TestPrivateFilterExactness:
+    """The per-set vectorized filter equals a straight-line replay of
+    SetAssociativeCache + BitPLRU private levels."""
+
+    def reference_filter(self, trace, config):
+        shift = config.line_size.bit_length() - 1
+        lines = (trace.addresses >> shift).tolist()
+        writes = trace.writes.tolist()
+        levels = [
+            SetAssociativeCache(cfg, BitPLRU())
+            for cfg in (config.l1, config.l2)
+            if cfg is not None
+        ]
+        reaches_llc = np.ones(len(lines), dtype=bool)
+        ctx = AccessContext()
+        for index, line in enumerate(lines):
+            ctx.index = index
+            ctx.write = writes[index]
+            hit = False
+            for level in levels:
+                if level.access(line, ctx):
+                    hit = True
+                    break
+            reaches_llc[index] = not hit
+        return reaches_llc, levels
+
+    def test_mask_and_stats_match_reference(self, prepared, hierarchy):
+        filt = build_private_filter(prepared.trace, hierarchy)
+        mask, levels = self.reference_filter(prepared.trace, hierarchy)
+        assert np.array_equal(filt.mask, mask)
+        for fast_stats, level in zip(
+            (filt.l1_stats, filt.l2_stats), levels
+        ):
+            ref_stats = level.stats
+            assert fast_stats.accesses == ref_stats.accesses
+            assert fast_stats.hits == ref_stats.hits
+            assert fast_stats.misses == ref_stats.misses
+            assert fast_stats.evictions == ref_stats.evictions
+            assert fast_stats.writebacks == ref_stats.writebacks
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        lines=st.lists(st.integers(0, 40), min_size=1, max_size=200),
+        l1_sets=st.sampled_from([1, 2, 3, 4]),
+        l1_ways=st.sampled_from([1, 2, 4]),
+    )
+    def test_random_traces(self, lines, l1_sets, l1_ways):
+        from repro.memory.trace import MemoryTrace
+
+        n = len(lines)
+        rng = np.random.default_rng(abs(hash((tuple(lines), l1_sets))) % 2**32)
+        trace = MemoryTrace(
+            addresses=np.asarray(lines, np.int64) * 64,
+            pcs=np.ones(n, np.uint8),
+            writes=rng.random(n) < 0.3,
+            vertices=np.zeros(n, np.int32),
+        )
+        config = HierarchyConfig(
+            l1=CacheConfig("L1", num_sets=l1_sets, num_ways=l1_ways),
+            llc=CacheConfig("LLC", num_sets=4, num_ways=4),
+        )
+        filt = build_private_filter(trace, config)
+        mask, (l1,) = self.reference_filter(trace, config)
+        assert np.array_equal(filt.mask, mask)
+        assert filt.l1_stats.writebacks == l1.stats.writebacks
+        assert filt.l1_stats.evictions == l1.stats.evictions
+
+
+class TestSetIndexProperty:
+    """Vectorized set indices agree with the scalar path, including the
+    paper's footnote-3 modulo indexing for non-power-of-two set counts."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        num_sets=st.integers(min_value=1, max_value=24576),
+        lines=st.lists(
+            st.integers(min_value=0, max_value=2**48), max_size=50
+        ),
+    )
+    def test_vectorized_matches_scalar(self, num_sets, lines):
+        config = CacheConfig("X", num_sets=num_sets, num_ways=2)
+        cache = SetAssociativeCache(config, LRU())
+        vectorized = cache.set_indices(np.asarray(lines, np.int64))
+        assert vectorized.tolist() == [
+            config.set_index(line) for line in lines
+        ]
+        assert vectorized.tolist() == [
+            cache.set_index(line) for line in lines
+        ]
+        if lines:
+            assert int(vectorized.min()) >= 0
+            assert int(vectorized.max()) < num_sets
+
+
+class TestFilteredNextUse:
+    def test_matches_backward_scan(self, prepared, hierarchy):
+        trace = prepared.trace
+        next_use = llc_filtered_next_use(trace, hierarchy)
+        # Reference: the original backward dict scan over the mask.
+        filt = build_private_filter(trace, hierarchy)
+        lines = (trace.addresses >> 6).tolist()
+        n = len(trace)
+        expected = np.full(n, n, dtype=np.int64)
+        last_seen = {}
+        for index in range(n - 1, -1, -1):
+            if not filt.mask[index]:
+                continue
+            line = lines[index]
+            if line in last_seen:
+                expected[index] = last_seen[line]
+            last_seen[line] = index
+        assert np.array_equal(next_use, expected)
+
+    def test_private_hits_get_infinity(self, hierarchy):
+        from repro.memory.trace import MemoryTrace
+
+        # Line 0 accessed three times back-to-back: accesses 1 and 2 hit
+        # L1 and never reach the LLC, so access 0's next LLC use is inf.
+        trace = MemoryTrace(
+            addresses=np.zeros(3, np.int64),
+            pcs=np.ones(3, np.uint8),
+            writes=np.zeros(3, bool),
+            vertices=np.zeros(3, np.int32),
+        )
+        next_use = llc_filtered_next_use(trace, hierarchy)
+        assert next_use[0] == 3
+        assert next_use[1] == 3 and next_use[2] == 3
+
+    def test_empty_trace(self, hierarchy):
+        from repro.memory.trace import MemoryTrace
+
+        empty = np.empty(0)
+        trace = MemoryTrace(
+            addresses=empty.astype(np.int64),
+            pcs=empty.astype(np.uint8),
+            writes=empty.astype(bool),
+            vertices=empty.astype(np.int32),
+        )
+        assert len(llc_filtered_next_use(trace, hierarchy)) == 0
+
+
+class TestEngineRunShape:
+    def test_run_reports_throughput(self, prepared, hierarchy):
+        engine = ReplayEngine(prepared, hierarchy)
+        run = engine.run(LRU())
+        assert run.seconds > 0
+        assert run.accesses_per_second > 0
+        assert run.filter.llc_visible == run.llc.stats.accesses
+        assert sum(run.level_counts) == len(prepared.trace)
