@@ -1,0 +1,32 @@
+"""simlint: simulator-specific static analysis (``python -m
+repro.analysis``).
+
+The replay engine made policy sweeps fast by caching work across
+policies; that sharing is only sound while every policy honors the
+:class:`~repro.policies.base.ReplacementPolicy` contract and the replay
+paths stay deterministic and vectorized. simlint checks those properties
+*statically* — every CI run, not just when an equivalence test happens to
+cover the broken combination. Rule families:
+
+- ``policy``       — ReplacementPolicy contract conformance
+- ``registry``     — policy registry drift (unreachable/broken names)
+- ``determinism``  — unseeded RNGs, wall-clock reads, set-order
+- ``hotpath``      — per-access work creeping back into replay loops
+
+See :mod:`repro.analysis.runner` for the CLI and
+``# simlint: allow[rule]`` pragmas for intentional exceptions.
+"""
+
+from .findings import Finding, format_findings
+from .hotpath import DEFAULT_REPLAY_PATH
+from .runner import RULE_FAMILIES, SimlintConfig, main, run_simlint
+
+__all__ = [
+    "Finding",
+    "format_findings",
+    "run_simlint",
+    "SimlintConfig",
+    "DEFAULT_REPLAY_PATH",
+    "RULE_FAMILIES",
+    "main",
+]

@@ -1,0 +1,193 @@
+"""Policy-contract conformance (simlint rule family ``policy``).
+
+The :class:`~repro.policies.base.ReplacementPolicy` contract that every
+policy must honor for the replay engine's caching to be sound:
+
+- ``policy-missing-victim`` — every concrete subclass provides
+  ``choose_victim`` (itself or via a scanned ancestor other than the
+  root, whose implementation only raises).
+- ``policy-name-missing`` / ``policy-name-duplicate`` — every concrete
+  subclass carries a class-level string ``name`` and no two concrete
+  policies share one (duplicate names silently merge rows in reports and
+  sweeps).
+- ``policy-init-set-state`` — per-set metadata must be built in
+  ``reset()`` (called from ``bind``), never in ``__init__``: at
+  construction time ``num_sets``/``num_ways`` are still 0, and state
+  built there goes stale when the policy is re-bound to a different
+  geometry.
+- ``policy-mutable-class-default`` — no mutable class-level defaults
+  (lists/dicts/sets): instances bound to different caches would share
+  replacement metadata.
+
+Classes whose names start with ``_`` are treated as abstract bases and
+exempt from the concrete-class checks (but still checked for mutable
+class-level defaults).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from .astutil import ClassIndex, ClassInfo, SourceModule, dotted_name, \
+    pragma_allows
+from .findings import Finding
+
+__all__ = ["check_policy_contracts"]
+
+ROOT_CLASS = "ReplacementPolicy"
+
+_MUTABLE_CALLS = {
+    "list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque",
+}
+_MUTABLE_NODES = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                  ast.SetComp)
+
+
+def _is_mutable_default(value: ast.expr) -> bool:
+    if isinstance(value, _MUTABLE_NODES):
+        return True
+    if isinstance(value, ast.Call):
+        name = dotted_name(value.func)
+        if name is not None and name.rsplit(".", 1)[-1] in _MUTABLE_CALLS:
+            return True
+    return False
+
+
+def _class_name_value(
+    index: ClassIndex, info: ClassInfo
+) -> Optional[Tuple[str, ClassInfo]]:
+    """The class-level ``name`` string, own or inherited (root excluded)."""
+    chain = [info] + [
+        ancestor for ancestor in index.ancestors(info.name)
+        if ancestor.name != ROOT_CLASS
+    ]
+    for owner in chain:
+        value = owner.class_assigns.get("name")
+        if value is None:
+            continue
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            return value.value, owner
+        return None  # dynamic name expressions: treated as missing
+    return None
+
+
+def _self_geometry_uses(node: ast.FunctionDef) -> List[ast.Attribute]:
+    """References to ``self.num_sets`` / ``self.num_ways`` inside a body."""
+    uses = []
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and sub.attr in ("num_sets", "num_ways")
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == "self"
+        ):
+            uses.append(sub)
+    return uses
+
+
+def check_policy_contracts(
+    modules: List[SourceModule],
+) -> List[Finding]:
+    index = ClassIndex(modules)
+    policy_classes = [
+        info for name, info in sorted(index.classes.items())
+        if name != ROOT_CLASS and index.is_subclass_of(name, ROOT_CLASS)
+    ]
+    findings: List[Finding] = []
+    names_seen: Dict[str, ClassInfo] = {}
+
+    for info in policy_classes:
+        module = info.module
+        concrete = not info.name.startswith("_")
+
+        # Mutable class-level defaults (all policy classes).
+        for attr, value in info.class_assigns.items():
+            if _is_mutable_default(value):
+                rule = "policy-mutable-class-default"
+                if not pragma_allows(module, rule, value.lineno):
+                    findings.append(Finding(
+                        rule=rule,
+                        path=module.display_path,
+                        line=value.lineno,
+                        message=(
+                            f"{info.name}.{attr} is a mutable class-level "
+                            "default; instances share it across bind()s — "
+                            "build it in reset() instead"
+                        ),
+                    ))
+
+        # Per-set state in __init__ (all policy classes: abstract bases
+        # passing broken state to subclasses are just as wrong).
+        init = info.methods.get("__init__")
+        if init is not None:
+            for use in _self_geometry_uses(init):
+                rule = "policy-init-set-state"
+                if pragma_allows(module, rule, use.lineno):
+                    continue
+                findings.append(Finding(
+                    rule=rule,
+                    path=module.display_path,
+                    line=use.lineno,
+                    message=(
+                        f"{info.name}.__init__ reads self.{use.attr}, which "
+                        "is 0 until bind(); build per-set state in reset()"
+                    ),
+                ))
+
+        if not concrete:
+            continue
+
+        # choose_victim must exist outside the root class.
+        has_victim = "choose_victim" in info.methods or any(
+            "choose_victim" in ancestor.methods
+            for ancestor in index.ancestors(info.name)
+            if ancestor.name != ROOT_CLASS
+        )
+        if not has_victim:
+            rule = "policy-missing-victim"
+            if not pragma_allows(module, rule, info.lineno):
+                findings.append(Finding(
+                    rule=rule,
+                    path=module.display_path,
+                    line=info.lineno,
+                    message=(
+                        f"{info.name} never overrides choose_victim; the "
+                        "root implementation raises at the first full set"
+                    ),
+                ))
+
+        # Unique class-level string name.
+        resolved = _class_name_value(index, info)
+        if resolved is None:
+            rule = "policy-name-missing"
+            if not pragma_allows(module, rule, info.lineno):
+                findings.append(Finding(
+                    rule=rule,
+                    path=module.display_path,
+                    line=info.lineno,
+                    message=(
+                        f"{info.name} has no class-level string `name` "
+                        "(reports and sweep tables key on it)"
+                    ),
+                ))
+            continue
+        value, owner = resolved
+        previous = names_seen.get(value)
+        if previous is not None:
+            # Inheriting the parent's name without overriding it is the
+            # duplicate case that silently merges results.
+            rule = "policy-name-duplicate"
+            if not pragma_allows(module, rule, info.lineno):
+                findings.append(Finding(
+                    rule=rule,
+                    path=module.display_path,
+                    line=info.lineno,
+                    message=(
+                        f"{info.name} and {previous.name} both report "
+                        f"name={value!r}; policy names must be unique"
+                    ),
+                ))
+        else:
+            names_seen[value] = info
+    return findings

@@ -1,0 +1,196 @@
+"""Determinism rules (simlint rule family ``determinism``).
+
+Simulation results must be a pure function of (trace, configuration,
+policy). Three classes of accidental nondeterminism are flagged:
+
+- ``determinism-random`` — module-level ``random.*`` / legacy
+  ``np.random.*`` calls and arg-less ``np.random.default_rng()``: all
+  draw from unseeded (or process-global) state. Policies that need
+  randomness must own a seeded ``random.Random(seed)`` /
+  ``default_rng(seed)`` built in ``reset()``.
+- ``determinism-time`` — any ``time.*`` / ``datetime.now`` call: wall
+  clock readings feeding simulated state make runs unrepeatable.
+  Instrumentation-only timing is fine — annotate the line with
+  ``# simlint: allow[determinism-time]``.
+- ``determinism-set-order`` — iterating a ``set`` (directly, via
+  ``list(...)``/``tuple(...)``/``enumerate(...)``, or via a local name
+  bound to one): CPython's set order depends on hash seeding and
+  insertion history, so replay order — and therefore cache contents —
+  can differ between runs. Wrap in ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from .astutil import SourceModule, dotted_name, pragma_allows
+from .findings import Finding
+
+__all__ = ["check_determinism"]
+
+_RANDOM_MODULE_FNS = {
+    "random", "randrange", "randint", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "getrandbits", "betavariate", "seed",
+}
+_NP_LEGACY_FNS = {
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "choice", "shuffle", "permutation", "uniform", "normal", "seed",
+    "standard_normal", "exponential", "poisson",
+}
+_TIME_FNS = {
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+    "monotonic_ns", "process_time", "process_time_ns", "clock",
+}
+
+
+def _is_setish(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in ("set", "frozenset"):
+            return True
+    return False
+
+
+def _scope_nodes(scope: ast.AST):
+    """Every node belonging to ``scope`` itself — recursion stops at
+    nested function/class definitions (their own scopes)."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _FunctionScope(ast.NodeVisitor):
+    """Tracks names bound to set values within one function body."""
+
+    def __init__(self) -> None:
+        self.set_names: Set[str] = set()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            target = node.targets[0].id
+            if _is_setish(node.value):
+                self.set_names.add(target)
+            else:
+                self.set_names.discard(target)
+        self.generic_visit(node)
+
+
+def _random_finding(call: ast.Call) -> Optional[str]:
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    parts = name.split(".")
+    if len(parts) == 2 and parts[0] == "random":
+        if parts[1] in _RANDOM_MODULE_FNS:
+            return (
+                f"{name}() draws from the process-global RNG; use a "
+                "seeded random.Random owned by the component"
+            )
+    if len(parts) == 3 and parts[1] == "random" and parts[0] in (
+        "np", "numpy"
+    ):
+        if parts[2] in _NP_LEGACY_FNS:
+            return (
+                f"{name}() uses numpy's legacy global RNG; use "
+                "np.random.default_rng(seed)"
+            )
+        if parts[2] == "default_rng" and not call.args and not call.keywords:
+            return "default_rng() without a seed is nondeterministic"
+    return None
+
+
+def _time_finding(call: ast.Call) -> Optional[str]:
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    parts = name.split(".")
+    if len(parts) == 2 and parts[0] == "time" and parts[1] in _TIME_FNS:
+        return (
+            f"{name}() reads the wall clock; simulated behaviour must not "
+            "depend on host timing (allow[determinism-time] for "
+            "instrumentation)"
+        )
+    if parts[-1] in ("now", "utcnow") and "datetime" in parts:
+        return f"{name}() reads the wall clock"
+    return None
+
+
+def check_determinism(modules: List[SourceModule]) -> List[Finding]:
+    findings: List[Finding] = []
+
+    def emit(module: SourceModule, rule: str, lineno: int,
+             message: str) -> None:
+        if not pragma_allows(module, rule, lineno):
+            findings.append(Finding(
+                rule=rule, path=module.display_path, line=lineno,
+                message=message,
+            ))
+
+    for module in modules:
+        # --- RNG and wall-clock calls (whole module) ---
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = _random_finding(node)
+            if message is not None:
+                emit(module, "determinism-random", node.lineno, message)
+            message = _time_finding(node)
+            if message is not None:
+                emit(module, "determinism-time", node.lineno, message)
+
+        # --- set-iteration order (per scope; nested defs are their own
+        # scope, so name bindings never leak across functions) ---
+        scopes: List[ast.AST] = [module.tree]
+        scopes.extend(
+            node for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            local_nodes = list(_scope_nodes(scope))
+            tracker = _FunctionScope()
+            # Bindings are collected scope-wide first: good enough for
+            # the flat assign-then-loop shape this rule targets.
+            for stmt in local_nodes:
+                if isinstance(stmt, ast.Assign):
+                    tracker.visit_Assign(stmt)
+
+            def setish_or_tracked(expr: ast.expr,
+                                  names: Set[str]) -> bool:
+                if _is_setish(expr):
+                    return True
+                return isinstance(expr, ast.Name) and expr.id in names
+
+            for node in local_nodes:
+                if isinstance(node, ast.For) and setish_or_tracked(
+                    node.iter, tracker.set_names
+                ):
+                    emit(
+                        module, "determinism-set-order", node.lineno,
+                        "iterating a set: order is not deterministic "
+                        "across runs; use sorted(...)",
+                    )
+                elif isinstance(node, ast.Call):
+                    name = dotted_name(node.func)
+                    if (
+                        name in ("list", "tuple", "enumerate", "iter")
+                        and len(node.args) == 1
+                        and setish_or_tracked(
+                            node.args[0], tracker.set_names
+                        )
+                    ):
+                        emit(
+                            module, "determinism-set-order", node.lineno,
+                            f"{name}() over a set freezes a "
+                            "nondeterministic order; use sorted(...)",
+                        )
+    return findings

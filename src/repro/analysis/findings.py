@@ -1,0 +1,33 @@
+"""Finding records produced by the simlint rules.
+
+Every rule emits :class:`Finding` objects; the runner sorts, formats, and
+turns them into a process exit code. A finding is identified by its
+``rule`` id (e.g. ``determinism-time``), which is also the token that an
+inline ``# simlint: allow[...]`` pragma must name to suppress it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["Finding", "format_findings"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def format_findings(findings: List[Finding]) -> str:
+    """Stable, path-then-line ordered report body."""
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    return "\n".join(finding.format() for finding in ordered)

@@ -1,0 +1,124 @@
+"""Registry drift (simlint rule family ``registry``).
+
+The policy registry is the single source of truth for sweeps, the CLI,
+and the equivalence suite — a policy class that exists but is not
+registered silently drops out of every comparison, and a registered name
+that cannot construct fails only at sweep time. This rule imports the
+registry and cross-checks it against the classes the AST pass found:
+
+- ``registry-construct`` — every registered name must construct a
+  :class:`ReplacementPolicy` from a synthetic
+  :class:`~repro.policies.registry.PolicyContext` (oracle policies get a
+  one-element next-use array, GRASP a token hot range).
+- ``registry-unreachable`` — every concrete policy class defined under
+  ``policies/`` must be instantiable through some registered name.
+- ``registry-order`` — ``policy_names()`` must be sorted and duplicate
+  free (stable sweep/report ordering).
+
+Runs only when the scanned file set contains ``policies/registry.py``
+(i.e. when linting the real package, not test fixtures).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from .astutil import ClassIndex, SourceModule
+from .contract import ROOT_CLASS
+from .findings import Finding
+
+__all__ = ["check_registry", "registry_module_scanned"]
+
+
+def registry_module_scanned(modules: List[SourceModule]) -> Optional[
+    SourceModule
+]:
+    for module in modules:
+        parts = module.path.parts
+        if (
+            module.path.name == "registry.py"
+            and len(parts) >= 2
+            and parts[-2] == "policies"
+        ):
+            return module
+    return None
+
+
+def _policy_classes_in_dir(
+    modules: List[SourceModule], registry: SourceModule
+) -> Set[str]:
+    """Concrete ReplacementPolicy subclasses defined next to registry.py."""
+    policies_dir = registry.path.parent
+    local = [m for m in modules if m.path.parent == policies_dir]
+    index = ClassIndex(local)
+    return {
+        name for name in index.classes
+        if name != ROOT_CLASS
+        and not name.startswith("_")
+        and index.is_subclass_of(name, ROOT_CLASS)
+    }
+
+
+def check_registry(modules: List[SourceModule]) -> List[Finding]:
+    registry_mod = registry_module_scanned(modules)
+    if registry_mod is None:
+        return []
+    path = registry_mod.display_path
+    findings: List[Finding] = []
+
+    import numpy as np
+
+    from ..policies import registry
+    from ..policies.base import ReplacementPolicy
+
+    names = registry.policy_names()
+    if names != sorted(set(names)):
+        findings.append(Finding(
+            rule="registry-order", path=path, line=1,
+            message="policy_names() must be sorted and duplicate-free, "
+                    f"got {names}",
+        ))
+
+    # A context rich enough for every registered factory: oracle policies
+    # get a trivially valid next-use array, GRASP a token hot range.
+    covered: Set[str] = set()
+    for name in names:
+        ctx = registry.PolicyContext(
+            next_use=np.zeros(1, dtype=np.int64),
+            hot_range=(0, 1),
+            warm_range=(1, 2),
+        )
+        try:
+            policy = registry.make_policy(name, ctx)
+        except Exception as exc:  # any factory failure is drift
+            findings.append(Finding(
+                rule="registry-construct", path=path, line=1,
+                message=f"registered policy {name!r} failed to construct: "
+                        f"{exc}",
+            ))
+            continue
+        if not isinstance(policy, ReplacementPolicy):
+            findings.append(Finding(
+                rule="registry-construct", path=path, line=1,
+                message=f"factory for {name!r} returned "
+                        f"{type(policy).__name__}, not a ReplacementPolicy",
+            ))
+            continue
+        if not isinstance(policy.name, str) or not policy.name:
+            findings.append(Finding(
+                rule="registry-construct", path=path, line=1,
+                message=f"policy {name!r} constructs with an empty or "
+                        "non-string .name",
+            ))
+        for klass in type(policy).__mro__:
+            covered.add(klass.__name__)
+
+    for class_name in sorted(
+        _policy_classes_in_dir(modules, registry_mod) - covered
+    ):
+        findings.append(Finding(
+            rule="registry-unreachable", path=path, line=1,
+            message=f"policy class {class_name} is not reachable from any "
+                    "registered factory; register it or prefix it with _",
+        ))
+    return findings

@@ -1,0 +1,114 @@
+"""simlint runner: discover files, execute rules, report findings.
+
+``python -m repro.analysis [paths...]`` is the command-line entry; the
+:func:`run_simlint` API is what the tests drive. Rules are pure functions
+from parsed modules to findings, so adding a rule is adding one function
+to :data:`RULE_SETS`.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import FrozenSet, List, Optional, Sequence
+
+from .astutil import SourceModule, iter_python_files, load_module
+from .contract import check_policy_contracts
+from .determinism import check_determinism
+from .findings import Finding, format_findings
+from .hotpath import DEFAULT_REPLAY_PATH, check_hot_paths
+from .registry_drift import check_registry
+
+__all__ = ["SimlintConfig", "run_simlint", "main"]
+
+RULE_FAMILIES = ("policy", "determinism", "hotpath", "registry")
+
+
+@dataclass
+class SimlintConfig:
+    """Tunable knobs: which functions are replay-path, which rule
+    families run."""
+
+    replay_path: FrozenSet[str] = DEFAULT_REPLAY_PATH
+    families: Sequence[str] = field(default_factory=lambda: RULE_FAMILIES)
+
+
+def _load_modules(paths: Sequence[Path]) -> tuple:
+    modules: List[SourceModule] = []
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            modules.append(load_module(path))
+        except SyntaxError as exc:
+            findings.append(Finding(
+                rule="parse-error",
+                path=str(path),
+                line=exc.lineno or 1,
+                message=f"file does not parse: {exc.msg}",
+            ))
+    return modules, findings
+
+
+def run_simlint(
+    paths: Sequence[Path],
+    config: Optional[SimlintConfig] = None,
+) -> List[Finding]:
+    """Run every enabled rule over the given files/directories."""
+    config = config if config is not None else SimlintConfig()
+    modules, findings = _load_modules([Path(p) for p in paths])
+    families = set(config.families)
+    if "policy" in families:
+        findings.extend(check_policy_contracts(modules))
+    if "determinism" in families:
+        findings.extend(check_determinism(modules))
+    if "hotpath" in families:
+        findings.extend(check_hot_paths(modules, config.replay_path))
+    if "registry" in families:
+        findings.extend(check_registry(modules))
+    # Overlapping scope walks may observe one site twice.
+    return sorted(set(findings), key=lambda f: (f.path, f.line, f.rule))
+
+
+def _default_target() -> Path:
+    """Lint the package this tool ships in when no path is given."""
+    return Path(__file__).resolve().parents[1]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="simlint: simulator-specific static analysis "
+                    "(policy contracts, registry drift, determinism, "
+                    "hot-path hygiene)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--skip", action="append", default=[], choices=RULE_FAMILIES,
+        metavar="FAMILY",
+        help="disable a rule family (repeatable); families: "
+             + ", ".join(RULE_FAMILIES),
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the all-clear summary line",
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.paths if args.paths else [_default_target()]
+    families = tuple(f for f in RULE_FAMILIES if f not in set(args.skip))
+    findings = run_simlint(paths, SimlintConfig(families=families))
+    if findings:
+        print(format_findings(findings))
+        print(f"simlint: {len(findings)} finding(s)")
+        return 1
+    if not args.quiet:
+        scanned = len(iter_python_files([Path(p) for p in paths]))
+        print(
+            f"simlint: OK ({scanned} files, "
+            f"families: {', '.join(families)})"
+        )
+    return 0

@@ -94,6 +94,12 @@ class PreparedRun:
     filter_counters: Dict[str, int] = field(
         default_factory=lambda: {"built": 0, "reused": 0}, repr=False
     )
+    #: Per-(private geometry, LLC geometry) LLC miss counts observed by
+    #: sanitized replays; the sanitizer enforces the Belady lower bound
+    #: across the policies recorded here.
+    sanitizer_records: Dict[object, Dict[str, int]] = field(
+        default_factory=dict, repr=False
+    )
 
     @property
     def num_accesses(self) -> int:

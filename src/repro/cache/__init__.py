@@ -19,6 +19,7 @@ from .hierarchy import (
 )
 from .multicore import MultiCoreHierarchy, replay_multicore
 from .nuca import BankMapper
+from .sanitizer import DEFAULT_INTERVAL, CacheSanitizer, SanitizerReport
 from .stats import MPKI_INSTRUCTIONS_PER_ACCESS, CacheStats
 
 __all__ = [
@@ -41,4 +42,7 @@ __all__ = [
     "replay_multicore",
     "CacheStats",
     "MPKI_INSTRUCTIONS_PER_ACCESS",
+    "CacheSanitizer",
+    "SanitizerReport",
+    "DEFAULT_INTERVAL",
 ]

@@ -102,7 +102,9 @@ def replay_multicore(
     live = set(range(len(per_core_traces)))
     index = 0
     while live:
-        for core in list(live):
+        # Deterministic round-robin order: set iteration order is an
+        # implementation detail and must not pick the interleaving.
+        for core in sorted(live):
             lines, pcs, writes, vertices = streams[core]
             start = cursors[core]
             stop = min(start + chunk, len(lines))

@@ -81,6 +81,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scale", choices=sorted(datasets.SCALES), default="small"
     )
     run.add_argument("--seed", type=int, default=42)
+    run.add_argument(
+        "--sanitize", action="store_true",
+        help="replay with runtime invariant checks "
+             "(repro.cache.sanitizer)",
+    )
 
     compare = sub.add_parser("compare", help="sweep policies on one run")
     compare.add_argument(
@@ -97,6 +102,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scale", choices=sorted(datasets.SCALES), default="small"
     )
     compare.add_argument("--seed", type=int, default=42)
+    compare.add_argument(
+        "--sanitize", action="store_true",
+        help="replay every policy with runtime invariant checks, "
+             "including the Belady bound across the sweep",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper figure/table"
@@ -118,7 +128,9 @@ def _cmd_run(args) -> int:
     graph = datasets.load(args.graph, scale=args.scale, seed=args.seed)
     hierarchy = scaled_hierarchy(args.scale)
     prepared = prepare_run(APP_FACTORIES[args.app](), graph)
-    result = simulate_prepared(prepared, args.policy, hierarchy)
+    result = simulate_prepared(
+        prepared, args.policy, hierarchy, sanitize=args.sanitize
+    )
     rows = [result.summary()]
     if result.popt_counters:
         rows[0].update(
@@ -138,7 +150,9 @@ def _cmd_compare(args) -> int:
     prepared = prepare_run(APP_FACTORIES[args.app](), graph)
     names = [p.strip() for p in args.policies.split(",") if p.strip()]
     results = {
-        name: simulate_prepared(prepared, name, hierarchy)
+        name: simulate_prepared(
+            prepared, name, hierarchy, sanitize=args.sanitize
+        )
         for name in names
     }
     baseline = results[names[0]]

@@ -27,3 +27,12 @@ class PolicyError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation driver was wired incorrectly."""
+
+
+class SanitizerError(ReproError):
+    """A runtime invariant of the cache simulator was violated.
+
+    Raised by :class:`repro.cache.sanitizer.CacheSanitizer` during
+    sanitized replays (``simulate_prepared(..., sanitize=True)``): the
+    simulator's internal state or statistics stopped satisfying an
+    invariant that every correct replay maintains."""

@@ -42,10 +42,20 @@ class PolicyContext:
 _FACTORIES: Dict[str, Callable[[PolicyContext], ReplacementPolicy]] = {}
 
 
-def register_policy(name: str):
-    """Decorator registering a factory under ``name``."""
+def register_policy(name: str, *, replace: bool = False):
+    """Decorator registering a factory under ``name``.
+
+    Duplicate names are rejected (a silent overwrite would make replay
+    results depend on import order); pass ``replace=True`` to swap in a
+    variant deliberately.
+    """
 
     def decorate(factory):
+        if not replace and name in _FACTORIES:
+            raise PolicyError(
+                f"policy {name!r} is already registered; "
+                "pass replace=True to override it"
+            )
         _FACTORIES[name] = factory
         return factory
 

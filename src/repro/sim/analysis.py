@@ -15,7 +15,6 @@ cache simulator in ``tests/sim/test_analysis.py``.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -48,7 +47,6 @@ def reuse_distances(
     arrays instead.
     """
     lines = trace.line_addresses(line_size).tolist()
-    pcs = trace.pcs.tolist()
     n = len(lines)
     distances = np.empty(n, dtype=np.int64)
     # Fenwick tree over trace positions: position j carries a 1 while j
@@ -83,10 +81,10 @@ def reuse_distances(
         last_seen[line] = index
     if not by_pc:
         return distances
-    grouped: Dict[int, List[int]] = defaultdict(list)
-    for index, pc in enumerate(pcs):
-        grouped[pc].append(int(distances[index]))
-    return {pc: np.array(values) for pc, values in grouped.items()}
+    pcs_arr = trace.pcs
+    return {
+        int(pc): distances[pcs_arr == pc] for pc in np.unique(pcs_arr)
+    }
 
 
 def miss_rate_curve(

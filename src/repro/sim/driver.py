@@ -23,6 +23,7 @@ from ..apps.base import GraphApp, PreparedRun
 from ..cache.cache import AccessContext
 from ..cache.config import HierarchyConfig
 from ..cache.hierarchy import CacheHierarchy
+from ..cache.sanitizer import CacheSanitizer
 from ..cache.stats import MPKI_INSTRUCTIONS_PER_ACCESS, CacheStats
 from ..errors import SimulationError
 from ..graph.csr import CSRGraph
@@ -153,7 +154,7 @@ def _build_popt_policy(
     line_size: int,
 ) -> Tuple[POPT, float]:
     """Instantiate P-OPT with per-stream Rereference Matrices."""
-    start = time.perf_counter()
+    start = time.perf_counter()  # simlint: allow[determinism-time]
     streams = []
     for irregular in prepared.irregular_streams:
         matrix = build_rereference_matrix(
@@ -164,7 +165,7 @@ def _build_popt_policy(
             num_lines=irregular.span.num_lines,
         )
         streams.append(PoptStream(span=irregular.span, matrix=matrix))
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start  # simlint: allow[determinism-time]
     return POPT(streams, line_size=line_size), elapsed
 
 
@@ -177,6 +178,8 @@ def simulate_prepared(
     timing: Optional[TimingModel] = None,
     policy_context: Optional[PolicyContext] = None,
     engine: str = "fast",
+    sanitize: bool = False,
+    sanitizer: Optional[CacheSanitizer] = None,
 ) -> SimResult:
     """Replay a prepared run under the named LLC policy.
 
@@ -188,11 +191,21 @@ def simulate_prepared(
     decoded trace and the one-time private-level filter across policies
     and replays only the LLC-visible stream; ``"reference"`` walks the
     full hierarchy per access. Both produce bit-identical stats.
+
+    ``sanitize=True`` (or an explicit ``sanitizer``) runs the runtime
+    invariant checker during and after the replay: tag-array sanity,
+    stats conservation, private-filter consistency, and the Belady lower
+    bound across every sanitized policy replayed from the same prepared
+    run (see :mod:`repro.cache.sanitizer`). Sanitized runs produce
+    bit-identical results; a violation raises
+    :class:`~repro.errors.SanitizerError`.
     """
     if engine not in ENGINES:
         raise SimulationError(
             f"unknown engine {engine!r}; choose from {ENGINES}"
         )
+    if sanitizer is None and sanitize:
+        sanitizer = CacheSanitizer()
     line_size = hierarchy_config.line_size
     reserved = 0
     preprocessing = 0.0
@@ -239,10 +252,10 @@ def simulate_prepared(
             )
         llc_config = llc_config.with_ways(remaining)
 
-    replay_start = time.perf_counter()
+    replay_start = time.perf_counter()  # simlint: allow[determinism-time]
     if engine == "fast":
         run = ReplayEngine(prepared, hierarchy_config).run(
-            llc_policy, llc_config=llc_config
+            llc_policy, llc_config=llc_config, sanitizer=sanitizer
         )
         levels = run.levels
         level_counts = run.level_counts
@@ -263,7 +276,13 @@ def simulate_prepared(
         level_counts = list(hierarchy.level_counts)
         llc_stats = levels[-1]
         llc_visible = llc_stats.accesses
-    replay_seconds = time.perf_counter() - replay_start
+        if sanitizer is not None:
+            for level in (hierarchy.l1, hierarchy.l2, hierarchy.llc):
+                if level is not None:
+                    sanitizer.check_cache(level, where=level.config.name)
+            sanitizer.check_policy_state(hierarchy.llc)
+            sanitizer.check_level_chain(levels, len(prepared.trace))
+    replay_seconds = time.perf_counter() - replay_start  # simlint: allow[determinism-time]
 
     num_accesses = len(prepared.trace)
     instructions = int(round(num_accesses * MPKI_INSTRUCTIONS_PER_ACCESS))
@@ -283,6 +302,27 @@ def simulate_prepared(
         llc_writebacks=llc_stats.writebacks,
     )
     details: Dict[str, object] = dict(prepared.details)
+    if sanitizer is not None:
+        # The Belady bound applies across sanitized replays that share
+        # both the private-level filter and the exact LLC geometry
+        # (P-OPT's way reservation changes the geometry, so reserved
+        # configurations form their own buckets).
+        bound_key = (
+            hierarchy_config.l1,
+            hierarchy_config.l2,
+            hierarchy_config.line_size,
+            llc_config,
+        )
+        sanitizer.record_llc_misses(
+            prepared.sanitizer_records,
+            bound_key,
+            policy_name,
+            llc_stats.misses,
+        )
+        details["sanitizer"] = {
+            "interval": sanitizer.interval,
+            **sanitizer.report.as_dict(),
+        }
     details["engine"] = {
         "name": engine,
         "replay_seconds": replay_seconds,

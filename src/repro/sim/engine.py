@@ -264,13 +264,18 @@ class ReplayEngine:
         self,
         llc_policy,
         llc_config: Optional[CacheConfig] = None,
+        sanitizer=None,
     ) -> EngineRun:
         """Replay the LLC-visible subsequence under ``llc_policy``.
 
         ``llc_config`` overrides the hierarchy's LLC geometry (P-OPT's
-        way reservation shrinks the data ways).
+        way reservation shrinks the data ways). ``sanitizer`` (a
+        :class:`repro.cache.sanitizer.CacheSanitizer`) enables periodic
+        and end-of-replay invariant checks; the default ``None`` keeps
+        the unsanitized loop untouched, so sanitize-off replays are
+        bit-identical and pay zero overhead.
         """
-        start = time.perf_counter()
+        start = time.perf_counter()  # simlint: allow[determinism-time]
         filt = get_private_filter(self.prepared, self.hierarchy_config)
         if llc_config is None:
             llc_config = self.hierarchy_config.llc
@@ -283,15 +288,34 @@ class ReplayEngine:
         vertices = filt.vertices
         indices = filt.indices
         access = llc.access
-        for k in range(len(lines)):
-            ctx.pc = pcs[k]
-            ctx.index = indices[k]
-            ctx.vertex = vertices[k]
-            ctx.write = writes[k]
-            access(lines[k], ctx)
+        if sanitizer is None:
+            for k in range(len(lines)):
+                ctx.pc = pcs[k]
+                ctx.index = indices[k]
+                ctx.vertex = vertices[k]
+                ctx.write = writes[k]
+                access(lines[k], ctx)
+        else:
+            interval = sanitizer.interval
+            until_check = interval
+            for k in range(len(lines)):
+                ctx.pc = pcs[k]
+                ctx.index = indices[k]
+                ctx.vertex = vertices[k]
+                ctx.write = writes[k]
+                access(lines[k], ctx)
+                until_check -= 1
+                if until_check == 0:
+                    until_check = interval
+                    sanitizer.check_cache(llc)
+                    sanitizer.check_stats(llc.stats)
 
-        seconds = time.perf_counter() - start
+        seconds = time.perf_counter() - start  # simlint: allow[determinism-time]
         levels = filt.level_stats() + [llc.stats.copy()]
+        if sanitizer is not None:
+            sanitizer.check_end_of_replay(
+                llc, levels, filt.num_accesses, filt=filt
+            )
         level_counts = [
             0,
             filt.l1_hits,

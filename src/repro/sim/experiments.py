@@ -111,14 +111,14 @@ def engine_throughput_sweep(
         reference_seconds: Optional[float] = None
         for engine in engines:
             prepared = prepare_run(PageRank(), graph)
-            start = time.perf_counter()
+            start = time.perf_counter()  # simlint: allow[determinism-time]
             misses: Dict[str, int] = {}
             for policy in policies:
                 result = simulate_prepared(
                     prepared, policy, hierarchy, engine=engine
                 )
                 misses[policy] = result.llc.misses
-            seconds = time.perf_counter() - start
+            seconds = time.perf_counter() - start  # simlint: allow[determinism-time]
             if engine == "reference":
                 reference_seconds = seconds
             replayed = len(prepared.trace) * len(policies)
@@ -558,14 +558,14 @@ def table4_preprocessing(
     for graph_name in graphs:
         graph = datasets.load(graph_name, scale=scale, seed=seed)
         elems_per_line = 16  # 4 B srcData elements
-        start = time.perf_counter()
+        start = time.perf_counter()  # simlint: allow[determinism-time]
         build_rereference_matrix(
             graph, elems_per_line=elems_per_line, entry_bits=entry_bits
         )
-        rm_seconds = time.perf_counter() - start
-        start = time.perf_counter()
+        rm_seconds = time.perf_counter() - start  # simlint: allow[determinism-time]
+        start = time.perf_counter()  # simlint: allow[determinism-time]
         pagerank_reference(graph)
-        pr_seconds = time.perf_counter() - start
+        pr_seconds = time.perf_counter() - start  # simlint: allow[determinism-time]
         rows.append(
             {
                 "graph": graph_name,

@@ -1,0 +1,306 @@
+"""Mutation tests for the cache sanitizer: seed corruption, catch it.
+
+Each unit test fabricates exactly one violation of an invariant the
+sanitizer owns and asserts :class:`~repro.errors.SanitizerError` names
+it. The integration tests then pin the two contracts ``sanitize=True``
+ships with: a sanitized replay is bit-identical to an unsanitized one,
+and the default path does not construct a sanitizer at all.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.apps import PageRank
+from repro.cache import (
+    DEFAULT_INTERVAL,
+    AccessContext,
+    CacheConfig,
+    CacheSanitizer,
+    CacheStats,
+    SetAssociativeCache,
+    scaled_hierarchy,
+)
+from repro.cache.cache import INVALID_TAG
+from repro.errors import ReproError, SanitizerError
+from repro.graph import uniform_random
+from repro.policies import LRU
+from repro.sim import prepare_run, simulate_prepared
+from repro.sim.engine import build_private_filter
+
+
+def small_cache(num_sets=4, num_ways=2):
+    config = CacheConfig(
+        name="LLC", num_sets=num_sets, num_ways=num_ways, line_size=64
+    )
+    return SetAssociativeCache(config, LRU())
+
+
+def warm_cache():
+    cache = small_cache()
+    ctx = AccessContext()
+    for line in range(12):
+        cache.access(line, ctx)
+    return cache
+
+
+class TestCacheChecks:
+    def test_healthy_cache_passes(self):
+        CacheSanitizer().check_cache(warm_cache())
+
+    def test_duplicate_tag_detected(self):
+        cache = warm_cache()
+        cache.tags[0][1] = cache.tags[0][0]
+        with pytest.raises(SanitizerError, match="duplicate tags"):
+            CacheSanitizer().check_cache(cache)
+
+    def test_dirty_but_invalid_detected(self):
+        cache = warm_cache()
+        cache.tags[1][0] = INVALID_TAG
+        cache.dirty[1][0] = True
+        with pytest.raises(SanitizerError, match="dirty but invalid"):
+            CacheSanitizer().check_cache(cache)
+
+    def test_way_overflow_detected(self):
+        cache = warm_cache()
+        cache.tags[2].append(99)
+        with pytest.raises(SanitizerError, match="ways"):
+            CacheSanitizer().check_cache(cache)
+
+
+class TestStatsChecks:
+    def test_healthy_stats_pass(self):
+        stats = CacheStats("LLC", accesses=10, hits=6, misses=4,
+                           evictions=3, writebacks=1)
+        CacheSanitizer().check_stats(stats)
+
+    def test_double_counted_hit_detected(self):
+        stats = CacheStats("LLC", accesses=10, hits=7, misses=4)
+        with pytest.raises(SanitizerError, match="accesses"):
+            CacheSanitizer().check_stats(stats)
+
+    def test_evictions_exceeding_misses_detected(self):
+        stats = CacheStats("LLC", accesses=10, hits=6, misses=4,
+                           evictions=5)
+        with pytest.raises(SanitizerError, match="evictions"):
+            CacheSanitizer().check_stats(stats)
+
+    def test_eviction_bound_waived_for_prefetch_paths(self):
+        stats = CacheStats("LLC", accesses=10, hits=6, misses=4,
+                           evictions=5, writebacks=2)
+        CacheSanitizer().check_stats(stats, demand_only=False)
+
+    def test_writebacks_exceeding_evictions_detected(self):
+        stats = CacheStats("LLC", accesses=10, hits=6, misses=4,
+                           evictions=2, writebacks=3)
+        with pytest.raises(SanitizerError, match="writebacks"):
+            CacheSanitizer().check_stats(stats)
+
+    def test_negative_counter_detected(self):
+        stats = CacheStats("LLC", accesses=2, hits=3, misses=-1)
+        with pytest.raises(SanitizerError, match="negative"):
+            CacheSanitizer().check_stats(stats)
+
+
+class TestPolicyStateCheck:
+    def test_healthy_policy_passes(self):
+        CacheSanitizer().check_policy_state(warm_cache())
+
+    def test_stale_per_set_state_detected(self):
+        """State built for another geometry — the __init__-vs-reset bug."""
+        cache = warm_cache()
+        cache.policy.stale = [[0] for _ in range(cache.num_sets + 3)]
+        with pytest.raises(SanitizerError, match="stale metadata"):
+            CacheSanitizer().check_policy_state(cache)
+
+    def test_rebound_policy_with_init_state_detected(self):
+        class Sticky(LRU):
+            """Builds per-set state once, in __init__ — never refreshed."""
+
+            def __init__(self):
+                super().__init__()
+                self.frozen = [[0] for _ in range(4)]
+
+            def reset(self):
+                super().reset()
+
+        bigger = SetAssociativeCache(
+            CacheConfig(name="LLC", num_sets=8, num_ways=2, line_size=64),
+            Sticky(),
+        )
+        with pytest.raises(SanitizerError, match="stale metadata"):
+            CacheSanitizer().check_policy_state(bigger)
+
+
+class TestLevelChain:
+    def test_consistent_chain_passes(self):
+        levels = [
+            CacheStats("L1", accesses=100, hits=60, misses=40),
+            CacheStats("L2", accesses=40, hits=10, misses=30),
+            CacheStats("LLC", accesses=30, hits=5, misses=25),
+        ]
+        CacheSanitizer().check_level_chain(levels, 100)
+
+    def test_broken_chain_detected(self):
+        levels = [
+            CacheStats("L1", accesses=100, hits=60, misses=40),
+            CacheStats("L2", accesses=39, hits=9, misses=30),
+        ]
+        with pytest.raises(SanitizerError, match="L2"):
+            CacheSanitizer().check_level_chain(levels, 100)
+
+
+class TestFilterCheck:
+    def make_filter(self):
+        graph = uniform_random(256, avg_degree=4.0, seed=11)
+        prepared = prepare_run(PageRank(), graph)
+        return build_private_filter(
+            prepared.trace, scaled_hierarchy("tiny")
+        )
+
+    def test_real_filter_passes(self):
+        CacheSanitizer().check_filter(self.make_filter())
+
+    def test_dropped_channel_entry_detected(self):
+        filt = self.make_filter()
+        broken = dataclasses.replace(filt, lines=filt.lines[:-1])
+        with pytest.raises(SanitizerError, match="lines"):
+            CacheSanitizer().check_filter(broken)
+
+    def test_non_monotonic_indices_detected(self):
+        filt = self.make_filter()
+        indices = list(filt.indices)
+        indices[0], indices[1] = indices[1], indices[0]
+        broken = dataclasses.replace(filt, indices=indices)
+        with pytest.raises(SanitizerError, match="increasing"):
+            CacheSanitizer().check_filter(broken)
+
+    def test_corrupted_private_stats_detected(self):
+        filt = self.make_filter()
+        l1 = filt.l1_stats.copy()
+        l1.misses += 1  # breaks accesses == hits + misses
+        broken = dataclasses.replace(filt, l1_stats=l1)
+        with pytest.raises(SanitizerError):
+            CacheSanitizer().check_filter(broken)
+
+
+class TestBeladyBound:
+    def test_policy_beating_opt_detected(self):
+        sanitizer = CacheSanitizer()
+        records = {}
+        sanitizer.record_llc_misses(records, "geomA", "OPT", 100)
+        with pytest.raises(SanitizerError, match="Belady"):
+            sanitizer.record_llc_misses(records, "geomA", "LRU", 90)
+
+    def test_opt_recorded_after_offender_detected(self):
+        sanitizer = CacheSanitizer()
+        records = {}
+        sanitizer.record_llc_misses(records, "geomA", "LRU", 90)
+        with pytest.raises(SanitizerError, match="Belady"):
+            sanitizer.record_llc_misses(records, "geomA", "OPT", 100)
+
+    def test_matching_and_worse_policies_pass(self):
+        sanitizer = CacheSanitizer()
+        records = {}
+        sanitizer.record_llc_misses(records, "geomA", "OPT", 100)
+        sanitizer.record_llc_misses(records, "geomA", "LRU", 100)
+        sanitizer.record_llc_misses(records, "geomA", "DRRIP", 130)
+
+    def test_bound_is_per_geometry(self):
+        """P-OPT's way reservation replays a different LLC geometry, so
+        its misses must not be compared against full-geometry OPT."""
+        sanitizer = CacheSanitizer()
+        records = {}
+        sanitizer.record_llc_misses(records, "geomA", "OPT", 100)
+        sanitizer.record_llc_misses(records, "geomB", "P-OPT", 80)
+
+
+class TestConstruction:
+    def test_sanitizer_error_is_a_repro_error(self):
+        assert issubclass(SanitizerError, ReproError)
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(SanitizerError):
+            CacheSanitizer(interval=0)
+
+    def test_default_interval(self):
+        assert CacheSanitizer().interval == DEFAULT_INTERVAL
+
+
+# ----------------------------------------------------------------------
+# Integration: sanitize=True on real replays
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def prepared_run():
+    graph = uniform_random(512, avg_degree=6.0, seed=7)
+    return prepare_run(PageRank(), graph)
+
+
+class TestSanitizedReplay:
+    POLICIES = ("LRU", "DRRIP", "OPT", "P-OPT")
+
+    def test_bit_identical_to_unsanitized(self, prepared_run):
+        hierarchy = scaled_hierarchy("tiny")
+        for name in self.POLICIES:
+            clean = simulate_prepared(prepared_run, name, hierarchy)
+            sane = simulate_prepared(
+                prepared_run, name, hierarchy, sanitize=True
+            )
+            assert clean.levels == sane.levels, name
+            assert clean.cycles == sane.cycles, name
+
+    def test_sanitizer_report_in_details(self, prepared_run):
+        result = simulate_prepared(
+            prepared_run, "LRU", scaled_hierarchy("tiny"), sanitize=True
+        )
+        report = result.details["sanitizer"]
+        assert report["interval"] == DEFAULT_INTERVAL
+        assert report["cache_checks"] >= 1
+        assert report["stats_checks"] >= 1
+        assert report["bound_checks"] == 1
+
+    def test_default_path_builds_no_sanitizer(self, prepared_run):
+        result = simulate_prepared(
+            prepared_run, "LRU", scaled_hierarchy("tiny")
+        )
+        assert "sanitizer" not in result.details
+
+    def test_small_interval_forces_mid_replay_checks(self, prepared_run):
+        sanitizer = CacheSanitizer(interval=64)
+        result = simulate_prepared(
+            prepared_run, "LRU", scaled_hierarchy("tiny"),
+            sanitizer=sanitizer,
+        )
+        assert result.details["sanitizer"]["cache_checks"] > 1
+
+    def test_belady_bound_enforced_across_sweep(self, prepared_run):
+        """OPT then every other policy on the same geometry: the shared
+        records on the PreparedRun must all satisfy the bound."""
+        hierarchy = scaled_hierarchy("tiny")
+        results = {
+            name: simulate_prepared(
+                prepared_run, name, hierarchy, sanitize=True
+            )
+            for name in ("OPT", "LRU", "DRRIP", "SRRIP")
+        }
+        opt_misses = results["OPT"].llc.misses
+        for name, result in results.items():
+            assert result.llc.misses >= opt_misses, name
+
+    def test_seeded_miss_undercount_is_caught(self, prepared_run):
+        """Corrupt the recorded sweep as a buggy policy would: fewer
+        misses than OPT on the identical replay trips the bound."""
+        hierarchy = scaled_hierarchy("tiny")
+        simulate_prepared(prepared_run, "OPT", hierarchy, sanitize=True)
+        key, bucket = next(
+            (k, v) for k, v in prepared_run.sanitizer_records.items()
+            if "OPT" in v
+        )
+        sanitizer = CacheSanitizer()
+        with pytest.raises(SanitizerError, match="Belady"):
+            sanitizer.record_llc_misses(
+                prepared_run.sanitizer_records, key, "Buggy",
+                bucket["OPT"] - 1,
+            )

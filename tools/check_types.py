@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Ratcheted mypy gate: fail only on NEW type errors.
+
+Runs ``mypy`` with the repo's ``pyproject.toml`` config and diffs the
+normalized error lines against the checked-in baseline
+(``tools/mypy-baseline.txt``). New errors fail the check; fixed errors
+are reported so the baseline can shrink. ``--update`` rewrites the
+baseline from the current output.
+
+mypy is an optional dev dependency: without ``--require`` the check
+skips (exit 0) when mypy is not importable, so the script is safe to run
+in environments that only have the runtime deps. CI passes ``--require``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BASELINE = Path(__file__).resolve().parent / "mypy-baseline.txt"
+
+#: mypy error lines look like ``path.py:12:5: error: message  [code]``;
+#: column numbers shift with formatting-only edits, so they are dropped.
+_ERROR_LINE = re.compile(
+    r"^(?P<path>[^:\n]+\.py):(?P<line>\d+)(?::\d+)?: "
+    r"(?P<level>error|note): (?P<message>.*)$"
+)
+
+
+def mypy_available() -> bool:
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def run_mypy() -> tuple:
+    """Run mypy over the package; return (normalized error lines, rc)."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    errors = []
+    for raw in proc.stdout.splitlines():
+        match = _ERROR_LINE.match(raw.strip())
+        if match is None or match.group("level") != "error":
+            continue
+        path = match.group("path").replace("\\", "/")
+        # Line numbers churn with unrelated edits; key on path + message.
+        errors.append(f"{path}: {match.group('message')}")
+    return sorted(set(errors)), proc.returncode
+
+
+def read_baseline() -> list:
+    if not BASELINE.exists():
+        return []
+    return [
+        line
+        for line in BASELINE.read_text().splitlines()
+        if line and not line.startswith("#")
+    ]
+
+
+def write_baseline(errors) -> None:
+    header = (
+        "# mypy baseline: known type errors, one per line "
+        "(path: message).\n"
+        "# Regenerate with: python tools/check_types.py --update\n"
+    )
+    BASELINE.write_text(header + "".join(f"{e}\n" for e in errors))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from current mypy output",
+    )
+    parser.add_argument(
+        "--require", action="store_true",
+        help="fail (instead of skip) when mypy is not installed",
+    )
+    args = parser.parse_args(argv)
+
+    if not mypy_available():
+        if args.require:
+            print("check_types: mypy is not installed and --require "
+                  "was given", file=sys.stderr)
+            return 1
+        print("check_types: mypy not installed; skipping "
+              "(pip install mypy, or pip install -e .[dev])")
+        return 0
+
+    errors, rc = run_mypy()
+    if rc >= 2:  # mypy crashed or the config is broken
+        print(f"check_types: mypy exited with status {rc}",
+              file=sys.stderr)
+        return rc
+
+    if args.update:
+        write_baseline(errors)
+        print(f"check_types: baseline updated ({len(errors)} entries)")
+        return 0
+
+    baseline = set(read_baseline())
+    current = set(errors)
+    new = sorted(current - baseline)
+    fixed = sorted(baseline - current)
+
+    if fixed:
+        print(f"check_types: {len(fixed)} baselined error(s) no longer "
+              "fire - shrink the baseline with --update:")
+        for entry in fixed:
+            print(f"  fixed: {entry}")
+    if new:
+        print(f"check_types: {len(new)} NEW type error(s):")
+        for entry in new:
+            print(f"  {entry}")
+        return 1
+    print(f"check_types: OK ({len(current)} known, 0 new)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
