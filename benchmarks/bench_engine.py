@@ -1,18 +1,36 @@
-"""Replay-engine throughput: three-phase fast engine vs reference path.
+"""Replay-engine throughput: three-phase fast engine vs reference path,
+plus per-policy replay-kernel speedups.
 
-Replays one PageRank trace under a four-policy LLC sweep with both
-engines. The fast engine decodes the trace once, filters the Bit-PLRU
-private levels once, and replays only the LLC-visible stream per policy;
-the reference path walks the full hierarchy per access per policy. The
-rows (and ``results/BENCH_engine.json``) record wall-time, accesses/sec,
-filter build/reuse counters, and the end-to-end speedup.
+``bench_engine_throughput`` replays one PageRank trace under a
+four-policy LLC sweep with both engines. The fast engine decodes the
+trace once, filters the Bit-PLRU private levels once, and replays only
+the LLC-visible stream per policy; the reference path walks the full
+hierarchy per access per policy. The rows (and
+``results/BENCH_engine.json``) record wall-time, accesses/sec, filter
+build/reuse counters, and the end-to-end speedup.
+
+``bench_kernel_throughput`` isolates phase 3: for each kernel-covered
+policy it times the generic per-access LLC loop against the policy's
+replay kernel over identical, pre-warmed caches, and writes
+``results/BENCH_kernels.json``. The floor asserted here is deliberately
+conservative (it must hold even on the pure-Python kernel fallback);
+with a C toolchain present the measured speedups are an order of
+magnitude higher.
 """
 
-from common import get_scale, report, run_once, write_engine_report
+from common import (
+    get_scale,
+    report,
+    run_once,
+    write_engine_report,
+    write_kernel_report,
+)
 
 from repro.sim.experiments import (
     ENGINE_SWEEP_POLICIES,
+    KERNEL_SWEEP_POLICIES,
     engine_throughput_sweep,
+    kernel_throughput_sweep,
 )
 
 
@@ -45,3 +63,34 @@ def bench_engine_throughput(benchmark):
         assert fast["filters_reused"] == len(ENGINE_SWEEP_POLICIES) - 1
         # ...and an end-to-end sweep speedup of at least 2x.
         assert fast["speedup_vs_reference"] >= 2.0, fast
+
+
+# The guaranteed-everywhere floor (pure-Python fallback, any host) and
+# the floor the flagship policies must clear when the compiled kernels
+# are live. Measured values are far above both: ~2-8x pure, ~17-74x
+# compiled, so failing these means dispatch regressed, not noise.
+KERNEL_SPEEDUP_FLOOR = 1.3
+COMPILED_SPEEDUP_FLOOR = 5.0
+COMPILED_FLOOR_POLICIES = ("LRU", "DRRIP", "OPT")
+
+
+def bench_kernel_throughput(benchmark):
+    rows = run_once(benchmark, kernel_throughput_sweep, scale=get_scale())
+    report(
+        "kernels",
+        "Replay-kernel throughput (phase-3 replay, generic vs kernel)",
+        rows,
+        notes="generic = per-access SetAssociativeCache loop over the "
+        "LLC-visible stream; kernel = the policy's replay kernel "
+        "(compiled when a C toolchain is available). Identical miss "
+        "counts are asserted, caches pre-warmed.",
+    )
+    path = write_kernel_report(rows)
+    assert path.exists()
+
+    assert {row["policy"] for row in rows} >= set(KERNEL_SWEEP_POLICIES)
+    for row in rows:
+        assert row["misses_generic"] == row["misses_kernel"], row
+        assert row["kernel_speedup"] >= KERNEL_SPEEDUP_FLOOR, row
+        if row["compiled"] and row["policy"] in COMPILED_FLOOR_POLICIES:
+            assert row["kernel_speedup"] >= COMPILED_SPEEDUP_FLOOR, row

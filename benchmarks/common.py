@@ -24,6 +24,7 @@ from repro.sim.tables import format_table
 
 RESULTS_DIR = Path(__file__).parent / "results"
 ENGINE_REPORT = RESULTS_DIR / "BENCH_engine.json"
+KERNEL_REPORT = RESULTS_DIR / "BENCH_kernels.json"
 
 
 def get_scale() -> str:
@@ -62,6 +63,22 @@ def write_engine_report(rows: List[Dict[str, object]]) -> Path:
         json.dumps({"scale": get_scale(), "rows": rows}, indent=2) + "\n"
     )
     return ENGINE_REPORT
+
+
+def write_kernel_report(rows: List[Dict[str, object]]) -> Path:
+    """Persist replay-kernel throughput rows as ``BENCH_kernels.json``.
+
+    Per kernel-covered policy: phase-3 replay seconds under the generic
+    per-access loop vs the policy's replay kernel, the speedup, whether
+    the compiled (C) kernel form was in use, and the miss counts from
+    both paths (CI asserts they are identical and that the speedup
+    clears a conservative floor).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    KERNEL_REPORT.write_text(
+        json.dumps({"scale": get_scale(), "rows": rows}, indent=2) + "\n"
+    )
+    return KERNEL_REPORT
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -12,6 +12,7 @@ cover the broken combination. Rule families:
 - ``registry``     — policy registry drift (unreachable/broken names)
 - ``determinism``  — unseeded RNGs, wall-clock reads, set-order
 - ``hotpath``      — per-access work creeping back into replay loops
+- ``kernels``      — replay-kernel dispatch coverage and loop hygiene
 
 See :mod:`repro.analysis.runner` for the CLI and
 ``# simlint: allow[rule]`` pragmas for intentional exceptions.

@@ -27,7 +27,11 @@ from typing import FrozenSet, List, Tuple
 from .astutil import SourceModule, dotted_name, pragma_allows
 from .findings import Finding
 
-__all__ = ["DEFAULT_REPLAY_PATH", "check_hot_paths"]
+__all__ = [
+    "DEFAULT_REPLAY_PATH",
+    "check_hot_paths",
+    "scan_replay_function",
+]
 
 #: The per-access functions of the replay fast path. ``Class.method``
 #: for methods, bare names for module-level functions.
@@ -67,12 +71,19 @@ def _replay_functions(
     return out
 
 
-def _scan_function(
+def scan_replay_function(
     module: SourceModule,
     qualname: str,
     func: ast.FunctionDef,
     findings: List[Finding],
+    loops_only: bool = False,
 ) -> None:
+    """Emit hot-path findings for one function.
+
+    With ``loops_only`` (the replay-kernel profile), ``.tolist()`` is
+    tolerated at loop depth zero — kernels legitimately unbox arrays once
+    in their preamble — and only flagged when it recurs per iteration.
+    """
     def emit(rule: str, lineno: int, message: str) -> None:
         if not pragma_allows(module, rule, lineno):
             findings.append(Finding(
@@ -90,11 +101,17 @@ def _scan_function(
             if isinstance(child, ast.Call):
                 name = dotted_name(child.func)
                 if isinstance(child.func, ast.Attribute):
-                    if child.func.attr == "tolist":
+                    if child.func.attr == "tolist" and (
+                        loop_depth > 0 or not loops_only
+                    ):
                         emit(
                             "hotpath-tolist", child.lineno,
-                            f"{qualname} calls .tolist(); the decoded "
-                            "trace already provides shared lists",
+                            f"{qualname} calls .tolist() "
+                            + ("inside its replay loop; unbox once in "
+                               "the kernel preamble instead"
+                               if loops_only else
+                               "; the decoded trace already provides "
+                               "shared lists"),
                         )
                     elif child.func.attr == "append" and loop_depth > 0:
                         emit(
@@ -123,5 +140,5 @@ def check_hot_paths(
     findings: List[Finding] = []
     for module in modules:
         for qualname, func in _replay_functions(module.tree, replay_path):
-            _scan_function(module, qualname, func, findings)
+            scan_replay_function(module, qualname, func, findings)
     return findings

@@ -1,0 +1,99 @@
+"""Replay-kernel coverage and hygiene (simlint rule family ``kernels``).
+
+The replay-kernel dispatch (PR 3) is string-keyed: policies advertise a
+kernel name via ``replay_kernel()`` and :mod:`repro.sim.kernels` maps
+names to implementations through ``KERNEL_TABLE``. Both halves can drift
+independently — a renamed kernel or a typo'd advertisement degrades to
+the generic path (or a runtime ``SimulationError``) without any import
+failing. These rules catch that statically:
+
+- ``kernel-resolve`` — every kernel name the policy registry advertises
+  must resolve to a *callable* entry in ``KERNEL_TABLE``. Runs only when
+  the scanned set contains the real ``sim/kernels.py`` (like the
+  registry rules, it imports the package under lint).
+- hot-path hygiene — every top-level ``kernel_*`` function in a module
+  named ``kernels.py`` is scanned with the
+  :mod:`~repro.analysis.hotpath` rules in *loops-only* mode: kernels may
+  unbox arrays (``.tolist()``) once in their preamble, but
+  per-iteration boxing, list growth, or ``.tolist()`` inside the replay
+  loops gets flagged (suppress deliberate cases with
+  ``# simlint: allow[hotpath-...]``). The filename scope keeps
+  similarly-named helpers elsewhere (e.g. ``kernel_throughput_sweep``)
+  out of the kernel profile; test fixtures opt in by using the filename.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from .astutil import SourceModule
+from .findings import Finding
+from .hotpath import scan_replay_function
+
+__all__ = ["check_kernels", "kernels_module_scanned"]
+
+KERNEL_PREFIX = "kernel_"
+
+
+def kernels_module_scanned(modules: List[SourceModule]) -> Optional[
+    SourceModule
+]:
+    for module in modules:
+        parts = module.path.parts
+        if (
+            module.path.name == "kernels.py"
+            and len(parts) >= 2
+            and parts[-2] == "sim"
+        ):
+            return module
+    return None
+
+
+def _check_resolution(path: str) -> List[Finding]:
+    """Import-and-cross-check the advertised-name -> kernel-fn mapping."""
+    findings: List[Finding] = []
+
+    from ..policies.registry import replay_kernels
+    from ..sim.kernels import KERNEL_TABLE
+
+    for name, fn in sorted(KERNEL_TABLE.items()):
+        if not callable(fn):
+            findings.append(Finding(
+                rule="kernel-resolve", path=path, line=1,
+                message=f"KERNEL_TABLE[{name!r}] is not callable "
+                        f"({type(fn).__name__})",
+            ))
+
+    advertised = replay_kernels()
+    for policy_type, name in sorted(
+        advertised.items(), key=lambda item: item[0].__name__
+    ):
+        if name not in KERNEL_TABLE:
+            findings.append(Finding(
+                rule="kernel-resolve", path=path, line=1,
+                message=f"policy class {policy_type.__name__} advertises "
+                        f"replay kernel {name!r}, which KERNEL_TABLE does "
+                        f"not implement (has {sorted(KERNEL_TABLE)})",
+            ))
+    return findings
+
+
+def check_kernels(modules: List[SourceModule]) -> List[Finding]:
+    findings: List[Finding] = []
+    # Hygiene: top-level kernel_* functions in any kernels.py (the real
+    # module or a fixture mirroring its name).
+    for module in modules:
+        if module.path.name != "kernels.py":
+            continue
+        for node in module.tree.body:
+            if isinstance(node, ast.FunctionDef) and node.name.startswith(
+                KERNEL_PREFIX
+            ):
+                scan_replay_function(
+                    module, node.name, node, findings, loops_only=True
+                )
+    kernels_mod = kernels_module_scanned(modules)
+    if kernels_mod is not None:
+        findings.extend(_check_resolution(kernels_mod.display_path))
+    return findings

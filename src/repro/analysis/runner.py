@@ -18,11 +18,12 @@ from .contract import check_policy_contracts
 from .determinism import check_determinism
 from .findings import Finding, format_findings
 from .hotpath import DEFAULT_REPLAY_PATH, check_hot_paths
+from .kernelcov import check_kernels
 from .registry_drift import check_registry
 
 __all__ = ["SimlintConfig", "run_simlint", "main"]
 
-RULE_FAMILIES = ("policy", "determinism", "hotpath", "registry")
+RULE_FAMILIES = ("policy", "determinism", "hotpath", "registry", "kernels")
 
 
 @dataclass
@@ -66,6 +67,8 @@ def run_simlint(
         findings.extend(check_hot_paths(modules, config.replay_path))
     if "registry" in families:
         findings.extend(check_registry(modules))
+    if "kernels" in families:
+        findings.extend(check_kernels(modules))
     # Overlapping scope walks may observe one site twice.
     return sorted(set(findings), key=lambda f: (f.path, f.line, f.rule))
 

@@ -20,27 +20,17 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Dict, List
 
-from . import apps as apps_module
 from .cache import scaled_hierarchy
 from .graph import datasets, degree_stats
 from .sim import experiments, prepare_run, simulate_prepared
+from .sim.parallel import APP_FACTORIES, SweepTask, run_sweep
 from .sim.tables import format_table, table1_rows, table2_rows, table3_rows
 
 __all__ = ["main", "APP_FACTORIES"]
-
-APP_FACTORIES = {
-    "PR": apps_module.PageRank,
-    "CC": apps_module.ConnectedComponents,
-    "PR-Delta": apps_module.PageRankDelta,
-    "Radii": apps_module.Radii,
-    "MIS": apps_module.MaximalIndependentSet,
-    "BFS": apps_module.BFS,
-    "SSSP": apps_module.SSSP,
-    "kCore": apps_module.KCore,
-}
 
 EXPERIMENTS = {
     "fig02": experiments.fig02_sota_mpki,
@@ -107,6 +97,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="replay every policy with runtime invariant checks, "
              "including the Belady bound across the sweep",
     )
+    compare.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the policy sweep (1 = in-process; "
+             "results are identical for any value)",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper figure/table"
@@ -114,6 +109,11 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("id", choices=sorted(EXPERIMENTS))
     experiment.add_argument(
         "--scale", choices=sorted(datasets.SCALES), default="small"
+    )
+    experiment.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes, for experiments that support sweeping "
+             "in parallel (others run serially regardless)",
     )
 
     sub.add_parser("tables", help="print paper tables I-III")
@@ -145,10 +145,46 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    names = [p.strip() for p in args.policies.split(",") if p.strip()]
+    jobs = max(1, args.jobs)
+    if jobs > 1 and args.sanitize:
+        # The sweep-wide sanitizer (Belady bound across policies) needs
+        # every replay's records on one PreparedRun; keep it in-process.
+        print("note: --sanitize forces --jobs 1 (sweep-wide invariants)")
+        jobs = 1
+    if jobs > 1:
+        tasks = [
+            SweepTask(
+                graph=args.graph,
+                app=args.app,
+                policies=(name,),
+                scale=args.scale,
+                seed=args.seed,
+            )
+            for name in names
+        ]
+        stat_rows = run_sweep(tasks, jobs=jobs)
+        baseline_cycles = float(stat_rows[0]["cycles"])
+        rows: List[Dict[str, object]] = [
+            {
+                "policy": item["policy"],
+                "miss_rate": round(float(item["llc_miss_rate"]), 4),
+                "mpki": round(float(item["llc_mpki"]), 2),
+                f"speedup_vs_{names[0]}": round(
+                    baseline_cycles / float(item["cycles"]), 3
+                )
+                if item["cycles"]
+                else float("inf"),
+                "reserved_ways": item["reserved_ways"],
+            }
+            for item in stat_rows
+        ]
+        print(format_table(rows, f"{args.app} on {args.graph} "
+                                 f"[{args.scale}]"))
+        return 0
     graph = datasets.load(args.graph, scale=args.scale, seed=args.seed)
     hierarchy = scaled_hierarchy(args.scale)
     prepared = prepare_run(APP_FACTORIES[args.app](), graph)
-    names = [p.strip() for p in args.policies.split(",") if p.strip()]
     results = {
         name: simulate_prepared(
             prepared, name, hierarchy, sanitize=args.sanitize
@@ -156,7 +192,7 @@ def _cmd_compare(args) -> int:
         for name in names
     }
     baseline = results[names[0]]
-    rows: List[Dict[str, object]] = []
+    rows = []
     for name, result in results.items():
         rows.append(
             {
@@ -175,7 +211,14 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
-    rows = EXPERIMENTS[args.id](scale=args.scale)
+    fn = EXPERIMENTS[args.id]
+    kwargs = {"scale": args.scale}
+    if "jobs" in inspect.signature(fn).parameters:
+        kwargs["jobs"] = max(1, args.jobs)
+    elif args.jobs > 1:
+        print(f"note: {args.id} does not sweep in parallel; "
+              f"running serially")
+    rows = fn(**kwargs)
     print(format_table(rows, f"{args.id} [scale={args.scale}]"))
     return 0
 

@@ -12,7 +12,7 @@ constructor and (re)initializes per-set state.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from ..errors import PolicyError
 
@@ -59,3 +59,23 @@ class ReplacementPolicy:
     def choose_victim(self, set_idx: int, ctx: "AccessContext") -> int:
         """Pick a way to evict from a full set."""
         raise PolicyError(f"{self.name} does not implement choose_victim")
+
+    # ------------------------------------------------------------------
+    # Replay-kernel dispatch
+    # ------------------------------------------------------------------
+
+    def replay_kernel(self) -> Optional[str]:
+        """Name of this policy's LLC replay kernel, or None.
+
+        The replay engine uses the named tight loop from
+        :mod:`repro.sim.kernels` instead of the per-access
+        cache/callback walk when a kernel is advertised (and sanitizing
+        is off). The default consults the exact-type table in
+        :mod:`repro.policies.registry` — *exact* type, so a subclass
+        that changes behavior (e.g. BIP refining LIP's insertion) never
+        inherits a kernel that does not model it; subclasses with their
+        own kernel register their own entry or override this hook.
+        """
+        from .registry import replay_kernels
+
+        return replay_kernels().get(type(self))

@@ -8,9 +8,21 @@ from .base import ReplacementPolicy
 
 __all__ = ["RandomReplacement"]
 
+#: Large odd multiplier spreading ``(seed, set)`` pairs over distinct RNG
+#: seeds. ``random.Random`` only accepts hashable scalars, so the pair is
+#: mixed into one int.
+_SET_SEED_STRIDE = 1_000_003
+
 
 class RandomReplacement(ReplacementPolicy):
-    """Uniformly random victim selection (deterministic given ``seed``)."""
+    """Uniformly random victim selection (deterministic given ``seed``).
+
+    Each set draws from its own seeded RNG stream, so the victims chosen
+    in one set do not depend on how accesses to *other* sets interleave
+    — sets stay independent, which is what lets the set-partitioned
+    replay kernel (:mod:`repro.sim.kernels`) reproduce this policy
+    bit for bit.
+    """
 
     name = "Random"
 
@@ -18,8 +30,16 @@ class RandomReplacement(ReplacementPolicy):
         super().__init__()
         self._seed = seed
 
+    @staticmethod
+    def rng_for_set(seed: int, set_idx: int) -> random.Random:
+        """The per-set RNG stream (shared with the replay kernel)."""
+        return random.Random(seed * _SET_SEED_STRIDE + set_idx)
+
     def reset(self) -> None:
-        self._rng = random.Random(self._seed)
+        self._rngs = [
+            self.rng_for_set(self._seed, set_idx)
+            for set_idx in range(self.num_sets)
+        ]
 
     def choose_victim(self, set_idx: int, ctx) -> int:
-        return self._rng.randrange(self.num_ways)
+        return self._rngs[set_idx].randrange(self.num_ways)

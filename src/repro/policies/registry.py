@@ -22,7 +22,13 @@ from .random_policy import RandomReplacement
 from .rrip import BRRIP, DRRIP, SRRIP
 from .ship import ship_mem, ship_pc
 
-__all__ = ["PolicyContext", "make_policy", "register_policy", "policy_names"]
+__all__ = [
+    "PolicyContext",
+    "make_policy",
+    "register_policy",
+    "policy_names",
+    "replay_kernels",
+]
 
 
 @dataclass
@@ -75,6 +81,42 @@ def make_policy(name: str, ctx: Optional[PolicyContext] = None):
 
 def policy_names() -> List[str]:
     return sorted(_FACTORIES)
+
+
+# ----------------------------------------------------------------------
+# Replay-kernel dispatch table
+# ----------------------------------------------------------------------
+
+_REPLAY_KERNELS: Optional[Dict[type, str]] = None
+
+
+def replay_kernels() -> Dict[type, str]:
+    """Exact policy type -> replay-kernel name in :mod:`repro.sim.kernels`.
+
+    Consulted by :meth:`ReplacementPolicy.replay_kernel`. Keys are
+    looked up by ``type(policy)`` — **not** ``isinstance`` — so a
+    subclass never silently inherits a kernel that does not model its
+    behavior (BIP subclasses LIP but adds an RNG on fill; T-OPT/P-OPT/
+    Hawkeye/SHiP/GRASP/SDBP/Leeway/BIP all stay on the generic
+    per-access path). Built lazily so registering the table does not
+    force-import every policy module at package import.
+    """
+    global _REPLAY_KERNELS
+    if _REPLAY_KERNELS is None:
+        from .lip import LIP
+        from .opt import BeladyOPT
+
+        _REPLAY_KERNELS = {
+            LRU: "lru",
+            LIP: "lip",
+            BitPLRU: "bit-plru",
+            RandomReplacement: "random",
+            SRRIP: "srrip",
+            BRRIP: "brrip",
+            DRRIP: "drrip",
+            BeladyOPT: "opt",
+        }
+    return _REPLAY_KERNELS
 
 
 # ----------------------------------------------------------------------

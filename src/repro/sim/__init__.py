@@ -17,7 +17,14 @@ from .driver import (
     simulate,
     simulate_prepared,
 )
-from .engine import ReplayEngine, build_private_filter, get_private_filter
+from .engine import (
+    ReplayEngine,
+    build_private_filter,
+    get_private_filter,
+    llc_compact_next_use,
+)
+from .kernels import KERNEL_TABLE, resolve_kernel
+from .parallel import SweepTask, policy_chunks, run_sweep, sweep_rows
 from .plots import grouped_bars, hbar_chart, sparkline
 from .tables import format_table, table1_rows, table2_rows, table3_rows
 from .timing import TimingModel
@@ -35,6 +42,13 @@ __all__ = [
     "ReplayEngine",
     "build_private_filter",
     "get_private_filter",
+    "llc_compact_next_use",
+    "KERNEL_TABLE",
+    "resolve_kernel",
+    "SweepTask",
+    "policy_chunks",
+    "run_sweep",
+    "sweep_rows",
     "TimingModel",
     "ReuseProfile",
     "reuse_distances",

@@ -1,0 +1,133 @@
+"""Build/load harness for the compiled replay kernels (``kernels.c``).
+
+The compiled kernels are an *optional* acceleration: the pure-Python
+kernels in :mod:`repro.sim.kernels` are the executable specification,
+and every call site falls back to them transparently when this module
+reports the library unavailable. Availability requires only a system C
+compiler (``cc``/``gcc``/``clang``) — the shared object is built on
+first use with a plain ``cc -O2 -shared`` invocation, cached under
+``build/ckernels/`` keyed by a hash of the C source (so edits rebuild
+automatically, and concurrent workers racing the build land on the same
+file via an atomic rename), and loaded with :mod:`ctypes`. No
+third-party packaging or FFI dependency is involved.
+
+Set ``REPRO_PURE_KERNELS=1`` to force the pure-Python kernels — the
+equivalence suite uses this to compare compiled vs. pure output, and
+it is the escape hatch if a toolchain miscompiles.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["lib", "available", "build_dir", "PURE_ENV"]
+
+#: Environment variable forcing the pure-Python kernel paths.
+PURE_ENV = "REPRO_PURE_KERNELS"
+
+_SOURCE = Path(__file__).with_name("kernels.c")
+
+#: Tri-state cache: None = not tried yet, False = tried and unavailable,
+#: ctypes.CDLL = loaded. The PURE_ENV override is intentionally *not*
+#: cached so tests can flip it per-case.
+_LIB: object = None
+
+_I64P = ctypes.POINTER(ctypes.c_longlong)
+_U8P = ctypes.POINTER(ctypes.c_ubyte)
+_F64P = ctypes.POINTER(ctypes.c_double)
+_I64 = ctypes.c_longlong
+_F64 = ctypes.c_double
+
+_SIGNATURES = {
+    "k_lru": [_I64P, _U8P, _I64P, _I64, _I64, _I64P],
+    "k_lip": [_I64P, _U8P, _I64P, _I64, _I64, _I64P],
+    "k_bit_plru": [_I64P, _U8P, _I64P, _I64, _I64, _I64P],
+    "k_bit_plru_mask": [_I64P, _U8P, _I64P, _I64, _I64, _U8P, _I64P],
+    "k_srrip": [_I64P, _U8P, _I64P, _I64, _I64, _I64, _I64P],
+    "k_opt": [_I64P, _U8P, _I64P, _I64P, _I64, _I64, _I64P],
+    "k_brrip": [_I64P, _U8P, _I64P, _I64, _I64, _I64, _I64, _F64,
+                _F64P, _I64P],
+    "k_drrip": [_I64P, _U8P, _I64P, _I64, _I64, _I64, _I64, _F64,
+                _I64, _I64, _I64P, _F64P, _I64P],
+}
+
+
+def build_dir() -> Path:
+    """Where compiled kernels are cached (override: REPRO_CKERNELS_DIR)."""
+    override = os.environ.get("REPRO_CKERNELS_DIR")
+    if override:
+        return Path(override)
+    # repo-root/build/ckernels (this file lives at src/repro/sim/)
+    return Path(__file__).resolve().parents[3] / "build" / "ckernels"
+
+
+def _compiler() -> Optional[str]:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _build() -> Optional[ctypes.CDLL]:
+    cc = _compiler()
+    if cc is None:
+        return None
+    source = _SOURCE.read_bytes()
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    out_dir = build_dir()
+    so_path = out_dir / f"repro_kernels_{digest}.so"
+    if not so_path.exists():
+        out_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(suffix=".so", dir=str(out_dir))
+        os.close(fd)
+        try:
+            subprocess.run(
+                [cc, "-O2", "-shared", "-fPIC", str(_SOURCE), "-o", tmp],
+                check=True,
+                capture_output=True,
+            )
+            os.replace(tmp, so_path)  # atomic: racing workers converge
+        except (subprocess.CalledProcessError, OSError):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return None
+    try:
+        cdll = ctypes.CDLL(str(so_path))
+    except OSError:
+        return None
+    for name, argtypes in _SIGNATURES.items():
+        fn = getattr(cdll, name)
+        fn.argtypes = argtypes
+        fn.restype = None
+    return cdll
+
+
+def lib() -> Optional[ctypes.CDLL]:
+    """The compiled kernel library, or None (pure-Python fallback).
+
+    Returns None without touching the build cache when ``PURE_ENV`` is
+    set; otherwise builds/loads once per process and memoizes the
+    outcome (including failure — a missing toolchain is not retried).
+    """
+    global _LIB
+    if os.environ.get(PURE_ENV):
+        return None
+    if _LIB is None:
+        built = _build()
+        _LIB = built if built is not None else False
+    return _LIB if _LIB is not False else None
+
+
+def available() -> bool:
+    """Whether the compiled fast path would be used right now."""
+    return lib() is not None

@@ -51,10 +51,14 @@ __all__ = [
 
 #: Replay engines accepted by :func:`simulate_prepared`. ``fast`` is the
 #: three-phase engine (decode once, filter the private levels once per
-#: hierarchy, replay only the LLC-visible stream per policy);
+#: hierarchy, replay only the LLC-visible stream per policy), which
+#: additionally dispatches to a set-partitioned replay kernel
+#: (:mod:`repro.sim.kernels`) when the policy advertises one;
+#: ``generic`` is the same engine with kernel dispatch disabled (the
+#: per-access LLC loop, kept addressable for equivalence testing);
 #: ``reference`` is the original per-access full-hierarchy walk, kept as
 #: the equivalence baseline.
-ENGINES = ("fast", "reference")
+ENGINES = ("fast", "generic", "reference")
 
 #: Policy names handled by the driver itself rather than the registry.
 POPT_POLICIES = ("T-OPT", "P-OPT", "P-OPT-Inter", "P-OPT-SE")
@@ -188,9 +192,12 @@ def simulate_prepared(
     limit-study configuration of Fig. 15.
 
     ``engine`` selects the replay path: ``"fast"`` (default) shares the
-    decoded trace and the one-time private-level filter across policies
-    and replays only the LLC-visible stream; ``"reference"`` walks the
-    full hierarchy per access. Both produce bit-identical stats.
+    decoded trace and the one-time private-level filter across policies,
+    replays only the LLC-visible stream, and dispatches to a replay
+    kernel when the policy advertises one; ``"generic"`` is the fast
+    engine with kernels disabled; ``"reference"`` walks the full
+    hierarchy per access. All three produce bit-identical stats
+    (``details["engine"]["kernel"]`` records which kernel, if any, ran).
 
     ``sanitize=True`` (or an explicit ``sanitizer``) runs the runtime
     invariant checker during and after the replay: tag-array sanity,
@@ -253,14 +260,19 @@ def simulate_prepared(
         llc_config = llc_config.with_ways(remaining)
 
     replay_start = time.perf_counter()  # simlint: allow[determinism-time]
-    if engine == "fast":
+    kernel_used: Optional[str] = None
+    if engine in ("fast", "generic"):
         run = ReplayEngine(prepared, hierarchy_config).run(
-            llc_policy, llc_config=llc_config, sanitizer=sanitizer
+            llc_policy,
+            llc_config=llc_config,
+            sanitizer=sanitizer,
+            use_kernel=(engine == "fast"),
         )
         levels = run.levels
         level_counts = run.level_counts
         llc_stats = levels[-1]
         llc_visible = run.filter.llc_visible
+        kernel_used = run.kernel
     else:
         effective_config = HierarchyConfig(
             llc=llc_config,
@@ -325,6 +337,7 @@ def simulate_prepared(
         }
     details["engine"] = {
         "name": engine,
+        "kernel": kernel_used,
         "replay_seconds": replay_seconds,
         "accesses_per_second": (
             num_accesses / replay_seconds if replay_seconds > 0 else 0.0

@@ -18,32 +18,40 @@ only on the access stream it observes). The engine exploits that:
    cache are independent, so accesses are grouped by set index with one
    vectorized stable sort and each set is simulated over its own compact
    subsequence.
-3. **Replay per policy** — only the filtered subsequence runs through a
-   fresh LLC, with original trace indices/vertices/PCs in the
-   :class:`AccessContext` so oracle policies (OPT, T-OPT, P-OPT) see
-   exactly what they would have seen behind real private levels.
+3. **Replay per policy** — policies that advertise a replay kernel
+   (:meth:`~repro.policies.base.ReplacementPolicy.replay_kernel`)
+   dispatch to a set-partitioned tight loop in :mod:`repro.sim.kernels`;
+   everything else runs the generic per-access loop through a fresh
+   :class:`SetAssociativeCache`, with original trace indices/vertices/
+   PCs in the :class:`AccessContext` so oracle policies (OPT, T-OPT,
+   P-OPT) see exactly what they would have seen behind real private
+   levels. Sanitized replays always take the generic loop — the
+   sanitizer's invariants are phrased over a live cache object (tag
+   arrays, per-set policy state), which kernels never build.
 
 The per-access reference path (full :class:`CacheHierarchy` walk) stays
-available via ``simulate_prepared(..., engine="reference")``; the
-equivalence suite in ``tests/sim/test_engine.py`` proves both paths
-produce identical per-level hit/miss/eviction/writeback counts for every
-registered policy.
+available via ``simulate_prepared(..., engine="reference")``, and the
+generic loop can be forced with ``engine="generic"``; the equivalence
+suite in ``tests/sim/test_engine.py`` proves all paths produce identical
+per-level hit/miss/eviction/writeback counts for every registered
+policy.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..apps.base import PreparedRun
-from ..cache.cache import INVALID_TAG, AccessContext, SetAssociativeCache
+from ..cache.cache import AccessContext, SetAssociativeCache
 from ..cache.config import CacheConfig, HierarchyConfig
 from ..cache.stats import CacheStats
 from ..errors import SimulationError
 from ..memory.trace import MemoryTrace, decode_trace
+from .kernels import KernelRequest, replay_bit_plru_stream, resolve_kernel
 
 __all__ = [
     "PrivateFilter",
@@ -52,94 +60,20 @@ __all__ = [
     "build_private_filter",
     "get_private_filter",
     "llc_visible_next_use",
+    "llc_compact_next_use",
 ]
-
-
-def _replay_bit_plru_level(
-    lines: np.ndarray, writes: np.ndarray, config: CacheConfig
-) -> Tuple[np.ndarray, CacheStats]:
-    """Exact Bit-PLRU set-associative replay of one private level.
-
-    Returns ``(hit_mask, stats)`` where ``hit_mask[i]`` says whether
-    access ``i`` (of the stream this level observes) hit. Semantically
-    identical to ``SetAssociativeCache(config, BitPLRU())`` fed the same
-    stream — same fill, eviction, dirty, and MRU-bit rules — but grouped
-    by set: a stable argsort partitions the accesses into per-set
-    subsequences (sets never interact), and each set is simulated with a
-    tight loop over plain lists.
-    """
-    n = len(lines)
-    stats = CacheStats(config.name)
-    hit_mask = np.zeros(n, dtype=bool)
-    if n == 0:
-        return hit_mask, stats
-    num_sets = config.num_sets
-    num_ways = config.num_ways
-    if config.sets_are_power_of_two:
-        set_idx = lines & (num_sets - 1)
-    else:
-        set_idx = lines % num_sets
-    order = np.argsort(set_idx, kind="stable")
-    counts = np.bincount(set_idx, minlength=num_sets)
-    sorted_lines = lines[order].tolist()
-    sorted_writes = writes[order].tolist()
-
-    hits = misses = evictions = writebacks = 0
-    hit_flags: List[bool] = []
-    start = 0
-    for count in counts.tolist():
-        if not count:
-            continue
-        stop = start + count
-        tags = [INVALID_TAG] * num_ways
-        mru = [False] * num_ways
-        dirty = [False] * num_ways
-        for k in range(start, stop):
-            line = sorted_lines[k]
-            try:
-                way = tags.index(line)
-            except ValueError:
-                way = -1
-            if way >= 0:
-                hits += 1
-                hit_flags.append(True)
-                if sorted_writes[k]:
-                    dirty[way] = True
-            else:
-                misses += 1
-                hit_flags.append(False)
-                try:
-                    way = tags.index(INVALID_TAG)
-                except ValueError:
-                    try:
-                        way = mru.index(False)  # Bit-PLRU victim
-                    except ValueError:  # single-way degenerate case
-                        way = 0
-                    evictions += 1
-                    if dirty[way]:
-                        writebacks += 1
-                tags[way] = line
-                dirty[way] = sorted_writes[k]
-            # Bit-PLRU touch: set the MRU bit; when the last zero bit
-            # would disappear, clear every *other* bit.
-            mru[way] = True
-            if all(mru):
-                mru = [False] * num_ways
-                mru[way] = True
-        start = stop
-
-    hit_mask[order] = hit_flags
-    stats.accesses = n
-    stats.hits = hits
-    stats.misses = misses
-    stats.evictions = evictions
-    stats.writebacks = writebacks
-    return hit_mask, stats
 
 
 @dataclass
 class PrivateFilter:
-    """Cached result of replaying the private levels once (phase 2)."""
+    """Cached result of replaying the private levels once (phase 2).
+
+    The LLC-visible subsequence is stored **once**, as numpy arrays; the
+    plain-list views the generic per-access loop wants (and the per-set
+    partitions the replay kernels want) are derived lazily and memoized,
+    so a filter costs one copy of the stream regardless of how many
+    replay paths consume it.
+    """
 
     key: tuple
     num_accesses: int
@@ -148,12 +82,20 @@ class PrivateFilter:
     l2_stats: Optional[CacheStats]
     l1_hits: int
     l2_hits: int
-    # LLC-visible subsequence as plain lists (hot-loop friendly).
-    lines: list
-    pcs: list
-    writes: list
-    vertices: list
-    indices: list                    # original trace positions
+    # LLC-visible subsequence (numpy arrays; list views are lazy).
+    lines: np.ndarray
+    pcs: np.ndarray
+    writes: np.ndarray
+    vertices: np.ndarray
+    indices: np.ndarray              # original trace positions
+
+    def __post_init__(self) -> None:
+        self._lists: Optional[tuple] = None
+        self._compact_next_use: Optional[np.ndarray] = None
+        self._partition_arrays: Dict[int, tuple] = {}
+        self._partitions: Dict[int, tuple] = {}
+        self._set_index_arrays: Dict[int, np.ndarray] = {}
+        self._set_index_lists: Dict[int, list] = {}
 
     @property
     def llc_visible(self) -> int:
@@ -166,6 +108,119 @@ class PrivateFilter:
             for stats in (self.l1_stats, self.l2_stats)
             if stats is not None
         ]
+
+    def as_lists(self) -> tuple:
+        """``(lines, pcs, writes, vertices, indices)`` as plain lists.
+
+        Memoized: the generic per-access loop reads Python scalars per
+        element, so one boxing pass here is shared by every generic
+        replay of this filter.
+        """
+        if self._lists is None:
+            self._lists = (
+                np.asarray(self.lines).tolist(),
+                np.asarray(self.pcs).tolist(),
+                np.asarray(self.writes).tolist(),
+                np.asarray(self.vertices).tolist(),
+                np.asarray(self.indices).tolist(),
+            )
+        return self._lists
+
+    def compact_next_use(self) -> np.ndarray:
+        """Next-use chain in *compact* (LLC-visible-stream) coordinates.
+
+        ``out[k]`` is the position within this filtered stream of the
+        next access to ``lines[k]``'s line, or ``len(lines)`` when there
+        is none. Computed with the same vectorized grouped sort as
+        :func:`llc_visible_next_use` and memoized — the OPT kernel is
+        the primary consumer.
+        """
+        if self._compact_next_use is None:
+            lines = np.asarray(self.lines)
+            m = len(lines)
+            next_use = np.full(m, m, dtype=np.int64)
+            if m:
+                pos = np.arange(m, dtype=np.int64)
+                order = np.lexsort((pos, lines))
+                sorted_lines = lines[order]
+                sorted_pos = pos[order]
+                same = sorted_lines[:-1] == sorted_lines[1:]
+                next_use[sorted_pos[:-1][same]] = sorted_pos[1:][same]
+            self._compact_next_use = next_use
+        return self._compact_next_use
+
+    def set_partition_arrays(self, config: CacheConfig) -> tuple:
+        """Per-set grouping of the stream, as contiguous numpy arrays.
+
+        Returns ``(counts, sorted_lines, sorted_writes, order)``:
+        ``order`` is the stable argsort by set index, ``counts`` the
+        per-set access counts (int64), ``sorted_lines`` int64 and
+        ``sorted_writes`` uint8 — the exact layouts the compiled kernels
+        take by pointer. Memoized per set count, so a whole policy sweep
+        pays for one sort.
+        """
+        num_sets = config.num_sets
+        cached = self._partition_arrays.get(num_sets)
+        if cached is None:
+            lines = np.asarray(self.lines)
+            set_idx = self.set_index_array(config)
+            order = np.argsort(set_idx, kind="stable")
+            cached = (
+                np.bincount(set_idx, minlength=num_sets).astype(np.int64),
+                np.ascontiguousarray(lines[order], dtype=np.int64),
+                np.ascontiguousarray(
+                    np.asarray(self.writes)[order], dtype=np.uint8
+                ),
+                order,
+            )
+            self._partition_arrays[num_sets] = cached
+        return cached
+
+    def set_partition(self, config: CacheConfig) -> tuple:
+        """Like :meth:`set_partition_arrays`, but with plain-list channels.
+
+        ``(counts, sorted_lines, sorted_writes, order)`` where the first
+        three are Python lists ready for a pure-Python kernel's tight
+        loop (``order`` stays numpy for vectorized gathers). Memoized
+        separately so list boxing only happens when a pure kernel runs.
+        """
+        num_sets = config.num_sets
+        cached = self._partitions.get(num_sets)
+        if cached is None:
+            counts, slines, swrites, order = self.set_partition_arrays(
+                config
+            )
+            cached = (
+                counts.tolist(),
+                slines.tolist(),
+                swrites.tolist(),
+                order,
+            )
+            self._partitions[num_sets] = cached
+        return cached
+
+    def set_index_array(self, config: CacheConfig) -> np.ndarray:
+        """Per-access set indices (int64; access-order compiled kernels)."""
+        num_sets = config.num_sets
+        cached = self._set_index_arrays.get(num_sets)
+        if cached is None:
+            lines = np.asarray(self.lines)
+            if config.sets_are_power_of_two:
+                set_idx = lines & (num_sets - 1)
+            else:
+                set_idx = lines % num_sets
+            cached = np.ascontiguousarray(set_idx, dtype=np.int64)
+            self._set_index_arrays[num_sets] = cached
+        return cached
+
+    def set_index_list(self, config: CacheConfig) -> list:
+        """Per-access set indices as a plain list (pure access-order kernels)."""
+        num_sets = config.num_sets
+        cached = self._set_index_lists.get(num_sets)
+        if cached is None:
+            cached = self.set_index_array(config).tolist()
+            self._set_index_lists[num_sets] = cached
+        return cached
 
 
 def filter_key(config: HierarchyConfig) -> tuple:
@@ -187,14 +242,18 @@ def build_private_filter(
     l1_stats = l2_stats = None
     l1_hits = l2_hits = 0
     if config.l1 is not None:
-        hit, l1_stats = _replay_bit_plru_level(vis_lines, vis_writes, config.l1)
+        hit, l1_stats = replay_bit_plru_stream(
+            vis_lines, vis_writes, config.l1
+        )
         l1_hits = l1_stats.hits
         miss = ~hit
         visible_idx = visible_idx[miss]
         vis_lines = vis_lines[miss]
         vis_writes = vis_writes[miss]
     if config.l2 is not None:
-        hit, l2_stats = _replay_bit_plru_level(vis_lines, vis_writes, config.l2)
+        hit, l2_stats = replay_bit_plru_stream(
+            vis_lines, vis_writes, config.l2
+        )
         l2_hits = l2_stats.hits
         miss = ~hit
         visible_idx = visible_idx[miss]
@@ -211,11 +270,11 @@ def build_private_filter(
         l2_stats=l2_stats,
         l1_hits=l1_hits,
         l2_hits=l2_hits,
-        lines=vis_lines.tolist(),
-        pcs=decoded.pcs[visible_idx].tolist(),
-        writes=vis_writes.tolist(),
-        vertices=decoded.vertices[visible_idx].tolist(),
-        indices=visible_idx.tolist(),
+        lines=vis_lines,
+        pcs=decoded.pcs[visible_idx],
+        writes=vis_writes,
+        vertices=decoded.vertices[visible_idx],
+        indices=visible_idx,
     )
 
 
@@ -238,11 +297,12 @@ def get_private_filter(
 class EngineRun:
     """Outcome of replaying one policy through the engine."""
 
-    levels: List[CacheStats]       # L1/L2 snapshots + live LLC stats copy
+    levels: List[CacheStats]       # L1/L2 snapshots + final LLC stats
     level_counts: List[int]        # indexed by LEVEL_* constants
-    llc: SetAssociativeCache
+    llc: Optional[SetAssociativeCache]  # None on the kernel path
     seconds: float
     filter: PrivateFilter
+    kernel: Optional[str] = None   # replay kernel used, if any
 
     @property
     def accesses_per_second(self) -> float:
@@ -265,6 +325,7 @@ class ReplayEngine:
         llc_policy,
         llc_config: Optional[CacheConfig] = None,
         sanitizer=None,
+        use_kernel: bool = True,
     ) -> EngineRun:
         """Replay the LLC-visible subsequence under ``llc_policy``.
 
@@ -274,44 +335,64 @@ class ReplayEngine:
         and end-of-replay invariant checks; the default ``None`` keeps
         the unsanitized loop untouched, so sanitize-off replays are
         bit-identical and pay zero overhead.
+
+        Dispatch: when ``use_kernel`` is True (default), sanitizing is
+        off, and the policy advertises a replay kernel, the whole stream
+        runs through the kernel's tight loop and no cache object is
+        built (``EngineRun.llc`` is None, ``EngineRun.kernel`` names the
+        kernel). Any other combination — no kernel, ``use_kernel=False``
+        (the ``engine="generic"`` path), or an active sanitizer — falls
+        back to the per-access loop transparently.
         """
         start = time.perf_counter()  # simlint: allow[determinism-time]
         filt = get_private_filter(self.prepared, self.hierarchy_config)
         if llc_config is None:
             llc_config = self.hierarchy_config.llc
-        llc = SetAssociativeCache(llc_config, llc_policy)
 
-        ctx = AccessContext()
-        lines = filt.lines
-        pcs = filt.pcs
-        writes = filt.writes
-        vertices = filt.vertices
-        indices = filt.indices
-        access = llc.access
-        if sanitizer is None:
-            for k in range(len(lines)):
-                ctx.pc = pcs[k]
-                ctx.index = indices[k]
-                ctx.vertex = vertices[k]
-                ctx.write = writes[k]
-                access(lines[k], ctx)
+        kernel_name: Optional[str] = None
+        kernel_fn = None
+        if use_kernel and sanitizer is None:
+            resolved = resolve_kernel(llc_policy)
+            if resolved is not None:
+                kernel_name, kernel_fn = resolved
+
+        llc: Optional[SetAssociativeCache] = None
+        if kernel_fn is not None:
+            llc_stats = kernel_fn(
+                KernelRequest(
+                    config=llc_config, policy=llc_policy, filt=filt
+                )
+            )
         else:
-            interval = sanitizer.interval
-            until_check = interval
-            for k in range(len(lines)):
-                ctx.pc = pcs[k]
-                ctx.index = indices[k]
-                ctx.vertex = vertices[k]
-                ctx.write = writes[k]
-                access(lines[k], ctx)
-                until_check -= 1
-                if until_check == 0:
-                    until_check = interval
-                    sanitizer.check_cache(llc)
-                    sanitizer.check_stats(llc.stats)
+            llc = SetAssociativeCache(llc_config, llc_policy)
+            ctx = AccessContext()
+            lines, pcs, writes, vertices, indices = filt.as_lists()
+            access = llc.access
+            if sanitizer is None:
+                for k in range(len(lines)):
+                    ctx.pc = pcs[k]
+                    ctx.index = indices[k]
+                    ctx.vertex = vertices[k]
+                    ctx.write = writes[k]
+                    access(lines[k], ctx)
+            else:
+                interval = sanitizer.interval
+                until_check = interval
+                for k in range(len(lines)):
+                    ctx.pc = pcs[k]
+                    ctx.index = indices[k]
+                    ctx.vertex = vertices[k]
+                    ctx.write = writes[k]
+                    access(lines[k], ctx)
+                    until_check -= 1
+                    if until_check == 0:
+                        until_check = interval
+                        sanitizer.check_cache(llc)
+                        sanitizer.check_stats(llc.stats)
+            llc_stats = llc.stats
 
         seconds = time.perf_counter() - start  # simlint: allow[determinism-time]
-        levels = filt.level_stats() + [llc.stats.copy()]
+        levels = filt.level_stats() + [llc_stats.copy()]
         if sanitizer is not None:
             sanitizer.check_end_of_replay(
                 llc, levels, filt.num_accesses, filt=filt
@@ -320,8 +401,8 @@ class ReplayEngine:
             0,
             filt.l1_hits,
             filt.l2_hits,
-            llc.stats.hits,
-            llc.stats.misses,
+            llc_stats.hits,
+            llc_stats.misses,
         ]
         return EngineRun(
             levels=levels,
@@ -329,6 +410,7 @@ class ReplayEngine:
             llc=llc,
             seconds=seconds,
             filter=filt,
+            kernel=kernel_name,
         )
 
 
@@ -337,7 +419,8 @@ def llc_visible_next_use(
     config: HierarchyConfig,
     prepared: Optional[PreparedRun] = None,
 ) -> np.ndarray:
-    """Next-use indices over the accesses that actually reach the LLC.
+    """Next-use indices over the accesses that actually reach the LLC,
+    in **original trace** coordinates.
 
     Belady at the LLC must rank lines by their next *LLC* access;
     accesses absorbed by L1/L2 never reach it. The LLC-visible mask comes
@@ -347,6 +430,10 @@ def llc_visible_next_use(
     positions by (line, position) makes each access's successor its
     neighbor in sort order. Accesses with no later LLC-visible reference
     — including all private-level hits — get ``len(trace)``.
+
+    See :func:`llc_compact_next_use` for the same chain expressed in
+    compacted LLC-visible-stream positions (what the replay kernels
+    consume).
     """
     if prepared is not None and prepared.trace is not trace:
         raise SimulationError("prepared.trace does not match trace")
@@ -367,3 +454,34 @@ def llc_visible_next_use(
     same_line = sorted_lines[:-1] == sorted_lines[1:]
     next_use[sorted_pos[:-1][same_line]] = sorted_pos[1:][same_line]
     return next_use
+
+
+def llc_compact_next_use(
+    trace: MemoryTrace,
+    config: HierarchyConfig,
+    prepared: Optional[PreparedRun] = None,
+) -> np.ndarray:
+    """Next-use chain over the LLC-visible stream, in **compact**
+    (filtered-stream-position) coordinates.
+
+    ``out[k]`` refers to access ``k`` *of the filtered stream* (length
+    ``M``): the compact position of the line's next LLC-visible access,
+    or ``M`` when there is none. Relation to
+    :func:`llc_visible_next_use` (original coordinates, length ``n``):
+    for visible original position ``p = filt.indices[k]``,
+
+    - ``orig[p] == len(trace)``  iff  ``compact[k] == M``, and
+    - otherwise ``filt.indices[compact[k]] == orig[p]``.
+
+    Both systems order next-uses identically (the original->compact
+    position mapping is strictly increasing), which is what lets the OPT
+    kernel rank victims by compact positions and still match the
+    reference policy bit for bit.
+    """
+    if prepared is not None and prepared.trace is not trace:
+        raise SimulationError("prepared.trace does not match trace")
+    if prepared is not None:
+        filt = get_private_filter(prepared, config)
+    else:
+        filt = build_private_filter(trace, config)
+    return filt.compact_next_use()

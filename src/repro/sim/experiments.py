@@ -34,9 +34,11 @@ from .driver import (
     prepare_run,
     simulate_prepared,
 )
+from .parallel import sweep_rows
 
 __all__ = [
     "engine_throughput_sweep",
+    "kernel_throughput_sweep",
     "fig02_sota_mpki",
     "fig04_topt_mpki",
     "fig07_rereference_designs",
@@ -70,18 +72,22 @@ def _mpki_rows(
     graphs: Sequence[str],
     scale: str,
     seed: int,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
-    hierarchy = scaled_hierarchy(scale)
+    flat = sweep_rows(
+        graphs, policies, apps=("PR",), scale=scale, seed=seed, jobs=jobs
+    )
+    by_graph: Dict[str, Dict[str, object]] = {}
     rows = []
     for graph_name in graphs:
-        graph = datasets.load(graph_name, scale=scale, seed=seed)
-        prepared = prepare_run(PageRank(), graph)
         row: Dict[str, object] = {"graph": graph_name}
-        for policy in policies:
-            result = simulate_prepared(prepared, policy, hierarchy)
-            row[policy] = round(result.llc_mpki, 2)
-            row[f"{policy}_missrate"] = round(result.llc_miss_rate, 3)
+        by_graph[graph_name] = row
         rows.append(row)
+    for item in flat:
+        row = by_graph[item["graph"]]
+        policy = item["policy"]
+        row[policy] = round(float(item["llc_mpki"]), 2)
+        row[f"{policy}_missrate"] = round(float(item["llc_miss_rate"]), 3)
     return rows
 
 
@@ -145,30 +151,95 @@ def engine_throughput_sweep(
     return rows
 
 
+KERNEL_SWEEP_POLICIES = ("LRU", "SRRIP", "DRRIP", "OPT")
+
+
+def kernel_throughput_sweep(
+    scale: str = "small",
+    graphs: Sequence[str] = ("DBP",),
+    policies: Sequence[str] = KERNEL_SWEEP_POLICIES,
+    seed: int = 42,
+) -> List[Dict[str, object]]:
+    """Replay-kernel throughput: kernel vs generic replay per policy.
+
+    For every kernel-covered policy, replays the same LLC-visible stream
+    with the generic per-access engine and with the policy's replay
+    kernel (:mod:`repro.sim.kernels`), recording phase-3 replay seconds
+    and the kernel's speedup. A warm-up pass per engine builds the
+    private filter, next-use, and set-partition caches first, so the
+    measured numbers isolate the replay loop. The miss columns come from
+    both paths and let callers assert bit-identity.
+    """
+    from . import ckernels  # local: report which kernel form ran
+
+    hierarchy = scaled_hierarchy(scale)
+    rows = []
+    for graph_name in graphs:
+        graph = datasets.load(graph_name, scale=scale, seed=seed)
+        prepared = prepare_run(PageRank(), graph)
+        for policy in policies:
+            for engine in ("generic", "fast"):
+                simulate_prepared(
+                    prepared, policy, hierarchy, engine=engine
+                )  # warm caches
+            timings: Dict[str, float] = {}
+            misses: Dict[str, int] = {}
+            for engine in ("generic", "fast"):
+                result = simulate_prepared(
+                    prepared, policy, hierarchy, engine=engine
+                )
+                engine_details = result.details["engine"]
+                timings[engine] = engine_details["replay_seconds"]
+                misses[engine] = result.llc.misses
+            rows.append(
+                {
+                    "graph": graph_name,
+                    "policy": policy,
+                    "compiled": ckernels.available(),
+                    "generic_seconds": round(timings["generic"], 5),
+                    "kernel_seconds": round(timings["fast"], 5),
+                    "kernel_speedup": round(
+                        timings["generic"] / timings["fast"], 2
+                    )
+                    if timings["fast"] > 0
+                    else float("inf"),
+                    "misses_generic": misses["generic"],
+                    "misses_kernel": misses["fast"],
+                }
+            )
+    return rows
+
+
 def fig02_sota_mpki(
     scale: str = "small",
     graphs: Sequence[str] = DEFAULT_GRAPHS,
     seed: int = 42,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
     """Fig. 2: PageRank LLC MPKI under state-of-the-art policies.
 
     Paper shape: all five policies land within a narrow band (60-70% miss
-    rates); none substantially beats LRU.
+    rates); none substantially beats LRU. ``jobs`` fans the sweep over a
+    process pool (see :mod:`repro.sim.parallel`); output is identical
+    for any value.
     """
-    return _mpki_rows(FIG2_POLICIES, graphs, scale, seed)
+    return _mpki_rows(FIG2_POLICIES, graphs, scale, seed, jobs=jobs)
 
 
 def fig04_topt_mpki(
     scale: str = "small",
     graphs: Sequence[str] = DEFAULT_GRAPHS,
     seed: int = 42,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
     """Fig. 4: T-OPT against the Fig. 2 policies.
 
     Paper shape: T-OPT reduces misses ~1.67x vs LRU (41% vs 60-70% miss
     rate).
     """
-    return _mpki_rows(FIG2_POLICIES + ("T-OPT",), graphs, scale, seed)
+    return _mpki_rows(
+        FIG2_POLICIES + ("T-OPT",), graphs, scale, seed, jobs=jobs
+    )
 
 
 def fig07_rereference_designs(

@@ -1,0 +1,452 @@
+/* Compiled LLC replay kernels (optional fast path).
+ *
+ * Each function is a line-for-line transliteration of the pure-Python
+ * kernel of the same policy in kernels.py — same probe order, same
+ * victim tie-breaks, same dirty/writeback bookkeeping — so the two
+ * paths are bit-identical and the Python kernels double as the
+ * executable specification (the equivalence suite compares compiled vs
+ * pure vs generic vs reference).
+ *
+ * Built on demand by repro.sim.ckernels via the system C compiler and
+ * loaded with ctypes; when no compiler is available the Python kernels
+ * run instead. No Python API is used here: every argument is a plain
+ * C array (int64 lines/counts, uint8 write flags, float64 RNG draws),
+ * so the only ABI surface is this header-free signature set.
+ *
+ * Randomness: BRRIP/DRRIP consume `random.Random` draws in fill order.
+ * Reproducing the Mersenne Twister here would couple this file to
+ * CPython internals, so the caller pre-generates one draw per access
+ * (an upper bound on fills) with the *same* RNG the reference policy
+ * owns and passes the array in; consumption order matches the
+ * reference's lazy draws exactly.
+ *
+ * Residency probes are linear tag scans: a set's ways hold distinct
+ * lines, so "first way whose tag matches" answers exactly what the
+ * Python kernels' line->way dict answers.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+typedef int64_t i64;
+typedef uint8_t u8;
+
+/* out[0..3] += hits, misses, evictions, writebacks */
+
+#define PROBE(way, resident, filled, line)                                   \
+    do {                                                                     \
+        i64 _w;                                                              \
+        (way) = -1;                                                          \
+        for (_w = 0; _w < (filled); _w++)                                    \
+            if ((resident)[_w] == (line)) { (way) = _w; break; }             \
+    } while (0)
+
+void k_lru(const i64 *lines, const u8 *writes, const i64 *counts,
+           i64 num_sets, i64 ways, i64 *out)
+{
+    i64 hits = 0, misses = 0, evics = 0, wbs = 0;
+    i64 *resident = malloc((size_t)ways * sizeof(i64));
+    i64 *stamps = malloc((size_t)ways * sizeof(i64));
+    u8 *dirty = malloc((size_t)ways);
+    i64 start = 0, s, k, w;
+    for (s = 0; s < num_sets; s++) {
+        i64 count = counts[s];
+        i64 stop = start + count;
+        i64 filled = 0, clock = 0;
+        if (!count) continue;
+        for (w = 0; w < ways; w++) { resident[w] = -1; stamps[w] = 0; dirty[w] = 0; }
+        for (k = start; k < stop; k++) {
+            i64 line = lines[k], way;
+            PROBE(way, resident, filled, line);
+            if (way >= 0) {
+                hits++;
+                if (writes[k]) dirty[way] = 1;
+            } else {
+                misses++;
+                if (filled < ways) {
+                    way = filled++;
+                } else {
+                    i64 lo = stamps[0];
+                    way = 0;
+                    for (w = 1; w < ways; w++)
+                        if (stamps[w] < lo) { lo = stamps[w]; way = w; }
+                    evics++;
+                    if (dirty[way]) wbs++;
+                }
+                resident[way] = line;
+                dirty[way] = writes[k];
+            }
+            stamps[way] = ++clock;
+        }
+        start = stop;
+    }
+    free(resident); free(stamps); free(dirty);
+    out[0] += hits; out[1] += misses; out[2] += evics; out[3] += wbs;
+}
+
+void k_lip(const i64 *lines, const u8 *writes, const i64 *counts,
+           i64 num_sets, i64 ways, i64 *out)
+{
+    i64 hits = 0, misses = 0, evics = 0, wbs = 0;
+    i64 *resident = malloc((size_t)ways * sizeof(i64));
+    i64 *stamps = malloc((size_t)ways * sizeof(i64));
+    u8 *dirty = malloc((size_t)ways);
+    i64 start = 0, s, k, w;
+    for (s = 0; s < num_sets; s++) {
+        i64 count = counts[s];
+        i64 stop = start + count;
+        i64 filled = 0, clock = 0;
+        if (!count) continue;
+        for (w = 0; w < ways; w++) { resident[w] = -1; stamps[w] = 0; dirty[w] = 0; }
+        for (k = start; k < stop; k++) {
+            i64 line = lines[k], way;
+            PROBE(way, resident, filled, line);
+            if (way >= 0) {
+                hits++;
+                if (writes[k]) dirty[way] = 1;
+                stamps[way] = ++clock;        /* promote to MRU */
+            } else {
+                i64 lo;
+                misses++;
+                if (filled < ways) {
+                    way = filled++;
+                } else {
+                    lo = stamps[0];
+                    way = 0;
+                    for (w = 1; w < ways; w++)
+                        if (stamps[w] < lo) { lo = stamps[w]; way = w; }
+                    evics++;
+                    if (dirty[way]) wbs++;
+                }
+                resident[way] = line;
+                dirty[way] = writes[k];
+                /* LRU-point insertion: strictly below the current min,
+                 * computed over the victim's stale stamp (reference
+                 * order). */
+                lo = stamps[0];
+                for (w = 1; w < ways; w++)
+                    if (stamps[w] < lo) lo = stamps[w];
+                stamps[way] = lo - 1;
+            }
+        }
+        start = stop;
+    }
+    free(resident); free(stamps); free(dirty);
+    out[0] += hits; out[1] += misses; out[2] += evics; out[3] += wbs;
+}
+
+void k_bit_plru(const i64 *lines, const u8 *writes, const i64 *counts,
+                i64 num_sets, i64 ways, i64 *out)
+{
+    i64 hits = 0, misses = 0, evics = 0, wbs = 0;
+    i64 *resident = malloc((size_t)ways * sizeof(i64));
+    u8 *mru = malloc((size_t)ways);
+    u8 *dirty = malloc((size_t)ways);
+    i64 start = 0, s, k, w;
+    for (s = 0; s < num_sets; s++) {
+        i64 count = counts[s];
+        i64 stop = start + count;
+        i64 filled = 0;
+        if (!count) continue;
+        for (w = 0; w < ways; w++) { resident[w] = -1; mru[w] = 0; dirty[w] = 0; }
+        for (k = start; k < stop; k++) {
+            i64 line = lines[k], way;
+            i64 nset;
+            PROBE(way, resident, filled, line);
+            if (way >= 0) {
+                hits++;
+                if (writes[k]) dirty[way] = 1;
+            } else {
+                misses++;
+                if (filled < ways) {
+                    way = filled++;
+                } else {
+                    /* lowest clear MRU bit; way 0 in the 1-way case */
+                    way = 0;
+                    for (w = 0; w < ways; w++)
+                        if (!mru[w]) { way = w; break; }
+                    evics++;
+                    if (dirty[way]) wbs++;
+                }
+                resident[way] = line;
+                dirty[way] = writes[k];
+            }
+            mru[way] = 1;
+            nset = 0;
+            for (w = 0; w < ways; w++) nset += mru[w];
+            if (nset == ways) {
+                memset(mru, 0, (size_t)ways);
+                mru[way] = 1;
+            }
+        }
+        start = stop;
+    }
+    free(resident); free(mru); free(dirty);
+    out[0] += hits; out[1] += misses; out[2] += evics; out[3] += wbs;
+}
+
+void k_srrip(const i64 *lines, const u8 *writes, const i64 *counts,
+             i64 num_sets, i64 ways, i64 rmax, i64 *out)
+{
+    i64 hits = 0, misses = 0, evics = 0, wbs = 0;
+    i64 *resident = malloc((size_t)ways * sizeof(i64));
+    i64 *rrpv = malloc((size_t)ways * sizeof(i64));
+    u8 *dirty = malloc((size_t)ways);
+    i64 start = 0, s, k, w;
+    for (s = 0; s < num_sets; s++) {
+        i64 count = counts[s];
+        i64 stop = start + count;
+        i64 filled = 0;
+        if (!count) continue;
+        for (w = 0; w < ways; w++) { resident[w] = -1; rrpv[w] = rmax; dirty[w] = 0; }
+        for (k = start; k < stop; k++) {
+            i64 line = lines[k], way;
+            PROBE(way, resident, filled, line);
+            if (way >= 0) {
+                hits++;
+                if (writes[k]) dirty[way] = 1;
+                rrpv[way] = 0;
+            } else {
+                misses++;
+                if (filled < ways) {
+                    way = filled++;
+                } else {
+                    i64 top = rrpv[0];
+                    for (w = 1; w < ways; w++)
+                        if (rrpv[w] > top) top = rrpv[w];
+                    if (top != rmax)
+                        for (w = 0; w < ways; w++) rrpv[w] += rmax - top;
+                    way = 0;
+                    for (w = 0; w < ways; w++)
+                        if (rrpv[w] == rmax) { way = w; break; }
+                    evics++;
+                    if (dirty[way]) wbs++;
+                }
+                resident[way] = line;
+                dirty[way] = writes[k];
+                rrpv[way] = rmax - 1;
+            }
+        }
+        start = stop;
+    }
+    free(resident); free(rrpv); free(dirty);
+    out[0] += hits; out[1] += misses; out[2] += evics; out[3] += wbs;
+}
+
+void k_opt(const i64 *lines, const u8 *writes, const i64 *snext,
+           const i64 *counts, i64 num_sets, i64 ways, i64 *out)
+{
+    i64 hits = 0, misses = 0, evics = 0, wbs = 0;
+    i64 *resident = malloc((size_t)ways * sizeof(i64));
+    i64 *line_next = malloc((size_t)ways * sizeof(i64));
+    u8 *dirty = malloc((size_t)ways);
+    i64 start = 0, s, k, w;
+    for (s = 0; s < num_sets; s++) {
+        i64 count = counts[s];
+        i64 stop = start + count;
+        i64 filled = 0;
+        if (!count) continue;
+        for (w = 0; w < ways; w++) { resident[w] = -1; line_next[w] = 0; dirty[w] = 0; }
+        for (k = start; k < stop; k++) {
+            i64 line = lines[k], way;
+            PROBE(way, resident, filled, line);
+            if (way >= 0) {
+                hits++;
+                if (writes[k]) dirty[way] = 1;
+            } else {
+                misses++;
+                if (filled < ways) {
+                    way = filled++;
+                } else {
+                    i64 far = line_next[0];
+                    way = 0;
+                    for (w = 1; w < ways; w++)
+                        if (line_next[w] > far) { far = line_next[w]; way = w; }
+                    evics++;
+                    if (dirty[way]) wbs++;
+                }
+                resident[way] = line;
+                dirty[way] = writes[k];
+            }
+            line_next[way] = snext[k];
+        }
+        start = stop;
+    }
+    free(resident); free(line_next); free(dirty);
+    out[0] += hits; out[1] += misses; out[2] += evics; out[3] += wbs;
+}
+
+/* Bit-PLRU with a per-access hit mask (private-level filtering needs to
+ * know *which* accesses hit, not just how many). hit_out[k] is written
+ * at the set-sorted position k; the caller scatters it back through its
+ * argsort order. */
+void k_bit_plru_mask(const i64 *lines, const u8 *writes, const i64 *counts,
+                     i64 num_sets, i64 ways, u8 *hit_out, i64 *out)
+{
+    i64 hits = 0, misses = 0, evics = 0, wbs = 0;
+    i64 *resident = malloc((size_t)ways * sizeof(i64));
+    u8 *mru = malloc((size_t)ways);
+    u8 *dirty = malloc((size_t)ways);
+    i64 start = 0, s, k, w;
+    for (s = 0; s < num_sets; s++) {
+        i64 count = counts[s];
+        i64 stop = start + count;
+        i64 filled = 0;
+        if (!count) continue;
+        for (w = 0; w < ways; w++) { resident[w] = -1; mru[w] = 0; dirty[w] = 0; }
+        for (k = start; k < stop; k++) {
+            i64 line = lines[k], way;
+            i64 nset;
+            PROBE(way, resident, filled, line);
+            if (way >= 0) {
+                hits++;
+                hit_out[k] = 1;
+                if (writes[k]) dirty[way] = 1;
+            } else {
+                misses++;
+                hit_out[k] = 0;
+                if (filled < ways) {
+                    way = filled++;
+                } else {
+                    way = 0;
+                    for (w = 0; w < ways; w++)
+                        if (!mru[w]) { way = w; break; }
+                    evics++;
+                    if (dirty[way]) wbs++;
+                }
+                resident[way] = line;
+                dirty[way] = writes[k];
+            }
+            mru[way] = 1;
+            nset = 0;
+            for (w = 0; w < ways; w++) nset += mru[w];
+            if (nset == ways) {
+                memset(mru, 0, (size_t)ways);
+                mru[way] = 1;
+            }
+        }
+        start = stop;
+    }
+    free(resident); free(mru); free(dirty);
+    out[0] += hits; out[1] += misses; out[2] += evics; out[3] += wbs;
+}
+
+/* Access-order kernels: a global fill RNG (and DRRIP's PSEL) couples
+ * the sets, so these walk the stream in original order with flat
+ * (set, way) state arrays allocated here. */
+
+static i64 rrip_victim(i64 *rrpv, i64 ways, i64 rmax)
+{
+    i64 top = rrpv[0], w, way;
+    for (w = 1; w < ways; w++)
+        if (rrpv[w] > top) top = rrpv[w];
+    if (top != rmax)
+        for (w = 0; w < ways; w++) rrpv[w] += rmax - top;
+    way = 0;
+    for (w = 0; w < ways; w++)
+        if (rrpv[w] == rmax) { way = w; break; }
+    return way;
+}
+
+void k_brrip(const i64 *lines, const u8 *writes, const i64 *sidx, i64 n,
+             i64 num_sets, i64 ways, i64 rmax, double trickle,
+             const double *draws, i64 *out)
+{
+    i64 hits = 0, misses = 0, evics = 0, wbs = 0;
+    i64 total = num_sets * ways;
+    i64 *resident = malloc((size_t)total * sizeof(i64));
+    i64 *rrpv = malloc((size_t)total * sizeof(i64));
+    u8 *dirty = calloc((size_t)total, 1);
+    i64 *filled = calloc((size_t)num_sets, sizeof(i64));
+    i64 k, w, dc = 0;
+    for (k = 0; k < total; k++) { resident[k] = -1; rrpv[k] = rmax; }
+    for (k = 0; k < n; k++) {
+        i64 line = lines[k];
+        i64 base = sidx[k] * ways;
+        i64 *res_s = resident + base;
+        i64 *rrpv_s = rrpv + base;
+        i64 way;
+        PROBE(way, res_s, filled[sidx[k]], line);
+        if (way >= 0) {
+            hits++;
+            if (writes[k]) dirty[base + way] = 1;
+            rrpv_s[way] = 0;
+        } else {
+            misses++;
+            if (filled[sidx[k]] < ways) {
+                way = filled[sidx[k]]++;
+            } else {
+                way = rrip_victim(rrpv_s, ways, rmax);
+                evics++;
+                if (dirty[base + way]) wbs++;
+            }
+            res_s[way] = line;
+            dirty[base + way] = writes[k];
+            rrpv_s[way] = draws[dc++] < trickle ? rmax - 1 : rmax;
+        }
+    }
+    free(resident); free(rrpv); free(dirty); free(filled);
+    out[0] += hits; out[1] += misses; out[2] += evics; out[3] += wbs;
+}
+
+void k_drrip(const i64 *lines, const u8 *writes, const i64 *sidx, i64 n,
+             i64 num_sets, i64 ways, i64 rmax, double trickle,
+             i64 psel, i64 psel_max, const i64 *leader,
+             const double *draws, i64 *out)
+{
+    i64 hits = 0, misses = 0, evics = 0, wbs = 0;
+    i64 total = num_sets * ways;
+    i64 psel_half = psel_max / 2;
+    i64 *resident = malloc((size_t)total * sizeof(i64));
+    i64 *rrpv = malloc((size_t)total * sizeof(i64));
+    u8 *dirty = calloc((size_t)total, 1);
+    i64 *filled = calloc((size_t)num_sets, sizeof(i64));
+    i64 k, dc = 0;
+    for (k = 0; k < total; k++) { resident[k] = -1; rrpv[k] = rmax; }
+    for (k = 0; k < n; k++) {
+        i64 line = lines[k];
+        i64 s = sidx[k];
+        i64 base = s * ways;
+        i64 *res_s = resident + base;
+        i64 *rrpv_s = rrpv + base;
+        i64 way;
+        PROBE(way, res_s, filled[s], line);
+        if (way >= 0) {
+            hits++;
+            if (writes[k]) dirty[base + way] = 1;
+            rrpv_s[way] = 0;
+        } else {
+            i64 role, use_brrip;
+            misses++;
+            if (filled[s] < ways) {
+                way = filled[s]++;
+            } else {
+                way = rrip_victim(rrpv_s, ways, rmax);
+                evics++;
+                if (dirty[base + way]) wbs++;
+            }
+            res_s[way] = line;
+            dirty[base + way] = writes[k];
+            /* _miss_feedback -> role -> insertion, reference order:
+             * leaders vote PSEL first, then their fixed role decides
+             * their own insertion; followers read the updated PSEL. */
+            role = leader[s];
+            if (role == 1) {
+                if (psel < psel_max) psel++;
+                use_brrip = 0;
+            } else if (role == 2) {
+                if (psel > 0) psel--;
+                use_brrip = 1;
+            } else {
+                use_brrip = psel > psel_half;
+            }
+            if (!use_brrip)
+                rrpv_s[way] = rmax - 1;
+            else
+                rrpv_s[way] = draws[dc++] < trickle ? rmax - 1 : rmax;
+        }
+    }
+    free(resident); free(rrpv); free(dirty); free(filled);
+    out[0] += hits; out[1] += misses; out[2] += evics; out[3] += wbs;
+}

@@ -1,0 +1,837 @@
+"""Set-partitioned LLC replay kernels (phase-3 fast paths).
+
+The three-phase engine (:mod:`repro.sim.engine`) reduced a policy sweep
+to "replay the LLC-visible stream per policy", but that replay still
+walked ``SetAssociativeCache.access`` once per access: a tag probe, a
+stats update, two or three policy callbacks through ``AccessContext`` —
+and, at graph-workload LLC miss rates, one or two *raised exceptions*
+per miss from the ``list.index``/``ValueError`` residency idiom. For the
+simple policies that dominate sweeps, all of that is avoidable — each
+kernel here replays the whole stream in one tight loop and returns the
+final :class:`~repro.cache.stats.CacheStats`, bit-identical to the
+reference path (the equivalence suite in ``tests/sim/test_engine.py``
+proves it).
+
+Each kernel exists in two forms. The **pure-Python** loop below is the
+executable specification; a **compiled** transliteration of the same
+loop (``kernels.c``, built on demand and loaded via
+:mod:`repro.sim.ckernels`) runs instead whenever a system C compiler is
+available, and falls back transparently when it is not (or when
+``REPRO_PURE_KERNELS=1`` forces the pure path). Both forms consume the
+same cached numpy partitions off the
+:class:`~repro.sim.engine.PrivateFilter`.
+
+Shared bit-identical transformations (vs. ``SetAssociativeCache``):
+
+- *Residency* is a per-set dict ``line -> way`` (a linear tag scan in
+  C) instead of an exception-raising list probe: a set's ways always
+  hold distinct lines, so both answer exactly what ``tags.index(line)``
+  answers, without raising on a miss.
+- *Invalid-way fills* use a monotone ``filled`` counter: the cache fills
+  the lowest invalid way, ways are never invalidated, so invalid ways
+  are exactly ``filled..num_ways-1``.
+- *RRIP aging* bumps once by ``rmax - max(rrpv)`` and then scans: the
+  reference's age-until-found loop always terminates after one bump, at
+  the same first-index victim.
+
+Two kernel shapes:
+
+**Set-partitioned** (LRU, LIP, Bit-PLRU, Random, SRRIP, OPT) — these
+policies keep no state that couples cache sets, so the accesses are
+grouped by set index with one vectorized stable sort (cached on the
+``PrivateFilter`` per LLC set count) and each set is simulated over its
+own compact subsequence. Correctness argument per policy:
+
+- *LRU / LIP*: the reference's global clock is only ever **compared**
+  within a set, so a per-set clock that preserves the relative order of
+  touches yields identical victims. Hits always stamp a fresh per-set
+  maximum; LIP fills stamp ``min - 1``, a fresh per-set minimum — the
+  order relations (and tie structure) match the reference exactly. The
+  pure LRU loop goes one step further: stamps are all distinct, so the
+  minimum is unique and recency order *is* dict insertion order — the
+  set's lines live in one dict ordered LRU-first (hit = pop +
+  re-insert at the MRU end, victim = first key), no stamp scan at all.
+- *Bit-PLRU / SRRIP*: all metadata is per-set already.
+- *Random*: per-set RNG streams (see
+  :meth:`~repro.policies.random_policy.RandomReplacement.rng_for_set`),
+  so the draw sequence inside a set does not depend on interleaving.
+  (Pure-Python only: a compiled form would have to reproduce CPython's
+  Mersenne Twister ``randrange`` bit for bit — per-set draws cannot be
+  pre-generated without knowing each set's eviction count, which is the
+  kernel's own output.)
+- *OPT*: victims are chosen by ``argmax`` of stored next-use positions.
+  The kernel stores **compact** (LLC-visible-stream) positions where the
+  reference stores original-trace positions; the original->compact
+  mapping is strictly increasing (with "no next use" mapping to the
+  respective stream length), so every comparison — including first-max
+  tie-breaks — is preserved.
+
+**Access-order** (BRRIP, DRRIP) — a single seeded RNG (and DRRIP's
+global PSEL set-dueling counter) couples the sets through the order of
+fills, so these kernels keep the original access order and inline the
+RRPV/PSEL updates. For the compiled form the fill draws are
+pre-generated in Python with the policy's own ``random.Random`` (one
+per access is a safe upper bound on fills) and handed over as a float64
+array — consumption order matches the reference's lazy draws exactly.
+
+Dispatch: policies advertise a kernel name via
+:meth:`~repro.policies.base.ReplacementPolicy.replay_kernel` (backed by
+the exact-type table in :mod:`repro.policies.registry`);
+:func:`resolve_kernel` maps the name to a callable here. Kernels read
+only *constructor* parameters off the policy instance (seed, RRPV
+width, PSEL width, ...) — the instance is never bound to a cache.
+
+Hot-path hygiene: the ``.tolist()``/array preambles below run once per
+replay, outside the loops; simlint's ``kernels`` rule family checks
+that no boxing or per-access list growth creeps *into* the loops.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cache.cache import INVALID_TAG
+from ..cache.config import CacheConfig
+from ..cache.stats import CacheStats
+from ..errors import SimulationError
+from ..policies.random_policy import RandomReplacement
+from ..policies.rrip import BRRIP
+from . import ckernels
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import PrivateFilter
+
+__all__ = [
+    "KernelRequest",
+    "KERNEL_TABLE",
+    "resolve_kernel",
+    "replay_bit_plru_stream",
+]
+
+
+@dataclass
+class KernelRequest:
+    """Everything a replay kernel needs for one (policy, geometry) run."""
+
+    config: CacheConfig       # effective LLC geometry (post way-reservation)
+    policy: object            # unbound policy instance (parameters only)
+    filt: "PrivateFilter"     # LLC-visible stream + cached partitions
+
+
+def _finish(
+    config: CacheConfig,
+    hits: int,
+    misses: int,
+    evictions: int,
+    writebacks: int,
+) -> CacheStats:
+    stats = CacheStats(config.name)
+    stats.accesses = hits + misses
+    stats.hits = hits
+    stats.misses = misses
+    stats.evictions = evictions
+    stats.writebacks = writebacks
+    return stats
+
+
+# ----------------------------------------------------------------------
+# ctypes glue for the compiled fast path
+# ----------------------------------------------------------------------
+
+_I64P = ctypes.POINTER(ctypes.c_longlong)
+_U8P = ctypes.POINTER(ctypes.c_ubyte)
+_F64P = ctypes.POINTER(ctypes.c_double)
+
+
+def _i64(arr: np.ndarray):
+    return arr.ctypes.data_as(_I64P)
+
+
+def _u8(arr: np.ndarray):
+    return arr.ctypes.data_as(_U8P)
+
+
+def _f64(arr: np.ndarray):
+    return arr.ctypes.data_as(_F64P)
+
+
+def _c_partitioned(clib, name: str, req: KernelRequest) -> CacheStats:
+    """Invoke a plain set-partitioned C kernel:
+    ``fn(lines, writes, counts, num_sets, ways, out)``."""
+    config = req.config
+    counts, slines, swrites, _ = req.filt.set_partition_arrays(config)
+    out = np.zeros(4, dtype=np.int64)
+    getattr(clib, name)(
+        _i64(slines), _u8(swrites), _i64(counts),
+        config.num_sets, config.num_ways, _i64(out),
+    )
+    return _finish(config, *out.tolist())
+
+
+def _fill_draws(seed: int, n: int) -> np.ndarray:
+    """Pre-generate the fill-order RNG draws a BRRIP-family replay may
+    consume: the same ``random.Random(seed).random()`` sequence the
+    reference policy draws lazily, one per access as an upper bound on
+    fills (the compiled kernel consumes a prefix in identical order)."""
+    draw = random.Random(seed).random
+    return np.fromiter((draw() for _ in range(n)), dtype=np.float64, count=n)
+
+
+# ----------------------------------------------------------------------
+# Private-level replay (shared with the engine's filter construction)
+# ----------------------------------------------------------------------
+
+
+def replay_bit_plru_stream(
+    lines: np.ndarray, writes: np.ndarray, config: CacheConfig
+) -> Tuple[np.ndarray, CacheStats]:
+    """Exact Bit-PLRU set-associative replay of one private level.
+
+    Returns ``(hit_mask, stats)`` where ``hit_mask[i]`` says whether
+    access ``i`` (of the stream this level observes) hit. Semantically
+    identical to ``SetAssociativeCache(config, BitPLRU())`` fed the same
+    stream — same fill, eviction, dirty, and MRU-bit rules — but grouped
+    by set: a stable argsort partitions the accesses into per-set
+    subsequences (sets never interact), and each set is simulated with a
+    tight loop (compiled when available) using the kernels'
+    dict-residency scheme.
+    """
+    n = len(lines)
+    stats = CacheStats(config.name)
+    hit_mask = np.zeros(n, dtype=bool)
+    if n == 0:
+        return hit_mask, stats
+    num_sets = config.num_sets
+    num_ways = config.num_ways
+    if config.sets_are_power_of_two:
+        set_idx = lines & (num_sets - 1)
+    else:
+        set_idx = lines % num_sets
+    order = np.argsort(set_idx, kind="stable")
+    counts = np.bincount(set_idx, minlength=num_sets)
+    sorted_lines_arr = np.ascontiguousarray(lines[order], dtype=np.int64)
+    sorted_writes_arr = np.ascontiguousarray(writes[order], dtype=np.uint8)
+
+    clib = ckernels.lib()
+    if clib is not None:
+        counts64 = counts.astype(np.int64)
+        hit_sorted = np.zeros(n, dtype=np.uint8)
+        out = np.zeros(4, dtype=np.int64)
+        clib.k_bit_plru_mask(
+            _i64(sorted_lines_arr), _u8(sorted_writes_arr), _i64(counts64),
+            num_sets, num_ways, _u8(hit_sorted), _i64(out),
+        )
+        hit_mask[order] = hit_sorted.view(bool)
+        hits, misses, evictions, writebacks = out.tolist()
+        stats.accesses = n
+        stats.hits = hits
+        stats.misses = misses
+        stats.evictions = evictions
+        stats.writebacks = writebacks
+        return hit_mask, stats
+
+    sorted_lines = sorted_lines_arr.tolist()
+    sorted_writes = sorted_writes_arr.tolist()
+    hits = misses = evictions = writebacks = 0
+    hit_flags: List[bool] = []
+    append_flag = hit_flags.append
+    start = 0
+    for count in counts.tolist():
+        if not count:
+            continue
+        stop = start + count
+        where: Dict[int, int] = {}
+        get = where.get
+        resident = [INVALID_TAG] * num_ways
+        mru = [False] * num_ways
+        dirty = [False] * num_ways
+        filled = 0
+        for k in range(start, stop):
+            line = sorted_lines[k]
+            way = get(line)
+            if way is not None:
+                hits += 1
+                append_flag(True)
+                if sorted_writes[k]:
+                    dirty[way] = True
+            else:
+                misses += 1
+                append_flag(False)
+                if filled < num_ways:
+                    way = filled
+                    filled += 1
+                else:
+                    # Bit-PLRU victim: lowest clear MRU bit (way 0 in the
+                    # single-way degenerate case, where all bits stay set).
+                    way = mru.index(False) if False in mru else 0
+                    evictions += 1
+                    if dirty[way]:
+                        writebacks += 1
+                    del where[resident[way]]
+                resident[way] = line
+                where[line] = way
+                dirty[way] = sorted_writes[k]
+            # Bit-PLRU touch: set the MRU bit; when the last zero bit
+            # would disappear, clear every *other* bit.
+            mru[way] = True
+            if all(mru):
+                mru = [False] * num_ways
+                mru[way] = True
+        start = stop
+
+    hit_mask[order] = hit_flags
+    stats.accesses = n
+    stats.hits = hits
+    stats.misses = misses
+    stats.evictions = evictions
+    stats.writebacks = writebacks
+    return hit_mask, stats
+
+
+# ----------------------------------------------------------------------
+# Set-partitioned kernels
+# ----------------------------------------------------------------------
+
+
+def kernel_lru(req: KernelRequest) -> CacheStats:
+    """Timestamp LRU, one tight loop per set (see module docstring for
+    the ordered-dict argument)."""
+    clib = ckernels.lib()
+    if clib is not None:
+        return _c_partitioned(clib, "k_lru", req)
+    config = req.config
+    num_ways = config.num_ways
+    counts, slines, swrites, _ = req.filt.set_partition(config)
+    hits = misses = evictions = writebacks = 0
+    start = 0
+    for count in counts:
+        if not count:
+            continue
+        stop = start + count
+        where: Dict[int, int] = {}   # line -> way; iteration order LRU-first
+        pop = where.pop
+        dirty = [False] * num_ways
+        filled = 0
+        for line, write in zip(slines[start:stop], swrites[start:stop]):
+            way = pop(line, None)
+            if way is not None:
+                hits += 1
+                if write:
+                    dirty[way] = True
+            else:
+                misses += 1
+                if filled < num_ways:
+                    way = filled
+                    filled += 1
+                else:
+                    victim_line = next(iter(where))
+                    way = pop(victim_line)
+                    evictions += 1
+                    if dirty[way]:
+                        writebacks += 1
+                dirty[way] = write
+            where[line] = way
+        start = stop
+    return _finish(config, hits, misses, evictions, writebacks)
+
+
+def kernel_lip(req: KernelRequest) -> CacheStats:
+    """LIP: hits promote to a fresh maximum, fills insert at min - 1."""
+    clib = ckernels.lib()
+    if clib is not None:
+        return _c_partitioned(clib, "k_lip", req)
+    config = req.config
+    num_ways = config.num_ways
+    counts, slines, swrites, _ = req.filt.set_partition(config)
+    hits = misses = evictions = writebacks = 0
+    start = 0
+    for count in counts:
+        if not count:
+            continue
+        stop = start + count
+        where: Dict[int, int] = {}
+        get = where.get
+        resident = [INVALID_TAG] * num_ways
+        stamps = [0] * num_ways
+        dirty = [False] * num_ways
+        filled = 0
+        clock = 0
+        for k in range(start, stop):
+            line = slines[k]
+            way = get(line)
+            if way is not None:
+                hits += 1
+                if swrites[k]:
+                    dirty[way] = True
+                clock += 1
+                stamps[way] = clock
+            else:
+                misses += 1
+                if filled < num_ways:
+                    way = filled
+                    filled += 1
+                else:
+                    way = stamps.index(min(stamps))
+                    evictions += 1
+                    if dirty[way]:
+                        writebacks += 1
+                    del where[resident[way]]
+                resident[way] = line
+                where[line] = way
+                dirty[way] = swrites[k]
+                # LRU-point insertion: strictly below the current minimum
+                # (computed over the victim's stale stamp, exactly like
+                # the reference's on_fill).
+                stamps[way] = min(stamps) - 1
+        start = stop
+    return _finish(config, hits, misses, evictions, writebacks)
+
+
+def kernel_bit_plru(req: KernelRequest) -> CacheStats:
+    """Bit-PLRU at the LLC (same rules as the private-level replay)."""
+    clib = ckernels.lib()
+    if clib is not None:
+        return _c_partitioned(clib, "k_bit_plru", req)
+    config = req.config
+    num_ways = config.num_ways
+    counts, slines, swrites, _ = req.filt.set_partition(config)
+    hits = misses = evictions = writebacks = 0
+    start = 0
+    for count in counts:
+        if not count:
+            continue
+        stop = start + count
+        where: Dict[int, int] = {}
+        get = where.get
+        resident = [INVALID_TAG] * num_ways
+        mru = [False] * num_ways
+        dirty = [False] * num_ways
+        filled = 0
+        for k in range(start, stop):
+            line = slines[k]
+            way = get(line)
+            if way is not None:
+                hits += 1
+                if swrites[k]:
+                    dirty[way] = True
+            else:
+                misses += 1
+                if filled < num_ways:
+                    way = filled
+                    filled += 1
+                else:
+                    way = mru.index(False) if False in mru else 0
+                    evictions += 1
+                    if dirty[way]:
+                        writebacks += 1
+                    del where[resident[way]]
+                resident[way] = line
+                where[line] = way
+                dirty[way] = swrites[k]
+            mru[way] = True
+            if all(mru):
+                mru = [False] * num_ways
+                mru[way] = True
+        start = stop
+    return _finish(config, hits, misses, evictions, writebacks)
+
+
+def kernel_random(req: KernelRequest) -> CacheStats:
+    """Random replacement with the policy's per-set RNG streams
+    (pure-Python only — see the module docstring)."""
+    config = req.config
+    num_ways = config.num_ways
+    counts, slines, swrites, _ = req.filt.set_partition(config)
+    seed = req.policy._seed
+    rng_for_set = RandomReplacement.rng_for_set
+    hits = misses = evictions = writebacks = 0
+    start = 0
+    for set_idx, count in enumerate(counts):
+        if not count:
+            continue
+        stop = start + count
+        where: Dict[int, int] = {}
+        get = where.get
+        resident = [INVALID_TAG] * num_ways
+        dirty = [False] * num_ways
+        filled = 0
+        draw = rng_for_set(seed, set_idx).randrange
+        for k in range(start, stop):
+            line = slines[k]
+            way = get(line)
+            if way is not None:
+                hits += 1
+                if swrites[k]:
+                    dirty[way] = True
+            else:
+                misses += 1
+                if filled < num_ways:
+                    way = filled
+                    filled += 1
+                else:
+                    way = draw(num_ways)
+                    evictions += 1
+                    if dirty[way]:
+                        writebacks += 1
+                    del where[resident[way]]
+                resident[way] = line
+                where[line] = way
+                dirty[way] = swrites[k]
+        start = stop
+    return _finish(config, hits, misses, evictions, writebacks)
+
+
+def kernel_srrip(req: KernelRequest) -> CacheStats:
+    """SRRIP: pure per-set RRPV state, long-interval insertion."""
+    clib = ckernels.lib()
+    if clib is not None:
+        config = req.config
+        counts, slines, swrites, _ = req.filt.set_partition_arrays(config)
+        out = np.zeros(4, dtype=np.int64)
+        clib.k_srrip(
+            _i64(slines), _u8(swrites), _i64(counts),
+            config.num_sets, config.num_ways, req.policy.rrpv_max,
+            _i64(out),
+        )
+        return _finish(config, *out.tolist())
+    config = req.config
+    num_ways = config.num_ways
+    counts, slines, swrites, _ = req.filt.set_partition(config)
+    rmax = req.policy.rrpv_max
+    insert = rmax - 1
+    hits = misses = evictions = writebacks = 0
+    start = 0
+    for count in counts:
+        if not count:
+            continue
+        stop = start + count
+        where: Dict[int, int] = {}
+        get = where.get
+        resident = [INVALID_TAG] * num_ways
+        rrpv = [rmax] * num_ways
+        dirty = [False] * num_ways
+        filled = 0
+        for k in range(start, stop):
+            line = slines[k]
+            way = get(line)
+            if way is not None:
+                hits += 1
+                if swrites[k]:
+                    dirty[way] = True
+                rrpv[way] = 0
+            else:
+                misses += 1
+                if filled < num_ways:
+                    way = filled
+                    filled += 1
+                else:
+                    top = max(rrpv)
+                    if top != rmax:
+                        bump = rmax - top
+                        for w in range(num_ways):
+                            rrpv[w] += bump
+                    way = rrpv.index(rmax)
+                    evictions += 1
+                    if dirty[way]:
+                        writebacks += 1
+                    del where[resident[way]]
+                resident[way] = line
+                where[line] = way
+                dirty[way] = swrites[k]
+                rrpv[way] = insert
+        start = stop
+    return _finish(config, hits, misses, evictions, writebacks)
+
+
+def kernel_opt(req: KernelRequest) -> CacheStats:
+    """Belady's MIN over compact (LLC-visible-stream) next-use positions.
+
+    The reference :class:`~repro.policies.opt.BeladyOPT` stores each
+    line's next use as an *original trace* position; this kernel stores
+    the position within the compacted LLC-visible stream instead (no
+    ``AccessContext`` needed — the sorted positions index straight into
+    the compact chain). The mapping between the two coordinate systems is
+    strictly increasing, so ``index(max(...))`` picks the same victim.
+    """
+    config = req.config
+    clib = ckernels.lib()
+    if clib is not None:
+        counts, slines, swrites, order = req.filt.set_partition_arrays(
+            config
+        )
+        snext_arr = np.ascontiguousarray(
+            req.filt.compact_next_use()[order], dtype=np.int64
+        )
+        out = np.zeros(4, dtype=np.int64)
+        clib.k_opt(
+            _i64(slines), _u8(swrites), _i64(snext_arr), _i64(counts),
+            config.num_sets, config.num_ways, _i64(out),
+        )
+        return _finish(config, *out.tolist())
+    num_ways = config.num_ways
+    counts, slines, swrites, order = req.filt.set_partition(config)
+    snext = req.filt.compact_next_use()[order].tolist()
+    hits = misses = evictions = writebacks = 0
+    start = 0
+    for count in counts:
+        if not count:
+            continue
+        stop = start + count
+        where: Dict[int, int] = {}
+        get = where.get
+        resident = [INVALID_TAG] * num_ways
+        line_next = [0] * num_ways
+        dirty = [False] * num_ways
+        filled = 0
+        for k in range(start, stop):
+            line = slines[k]
+            way = get(line)
+            if way is not None:
+                hits += 1
+                if swrites[k]:
+                    dirty[way] = True
+            else:
+                misses += 1
+                if filled < num_ways:
+                    way = filled
+                    filled += 1
+                else:
+                    way = line_next.index(max(line_next))
+                    evictions += 1
+                    if dirty[way]:
+                        writebacks += 1
+                    del where[resident[way]]
+                resident[way] = line
+                where[line] = way
+                dirty[way] = swrites[k]
+            line_next[way] = snext[k]
+        start = stop
+    return _finish(config, hits, misses, evictions, writebacks)
+
+
+# ----------------------------------------------------------------------
+# Access-order kernels (global RNG / set-dueling state couples the sets)
+# ----------------------------------------------------------------------
+
+
+def kernel_brrip(req: KernelRequest) -> CacheStats:
+    """BRRIP: one global fill RNG, so the original access order is kept.
+
+    The trickle draw happens once per fill in global order — exactly the
+    reference's RNG consumption — which rules out set partitioning; the
+    win comes from inlining the RRPV updates (and, compiled, from
+    pre-generating the draw sequence).
+    """
+    config = req.config
+    policy = req.policy
+    rmax = policy.rrpv_max
+    trickle = policy.TRICKLE
+    clib = ckernels.lib()
+    if clib is not None:
+        filt = req.filt
+        n = len(filt.lines)
+        lines_arr = np.ascontiguousarray(filt.lines, dtype=np.int64)
+        writes_arr = np.ascontiguousarray(filt.writes, dtype=np.uint8)
+        sidx = filt.set_index_array(config)
+        draws = _fill_draws(policy._seed, n)
+        out = np.zeros(4, dtype=np.int64)
+        clib.k_brrip(
+            _i64(lines_arr), _u8(writes_arr), _i64(sidx), n,
+            config.num_sets, config.num_ways, rmax, trickle,
+            _f64(draws), _i64(out),
+        )
+        return _finish(config, *out.tolist())
+    num_sets = config.num_sets
+    num_ways = config.num_ways
+    lines, _, writes, _, _ = req.filt.as_lists()
+    sidx = req.filt.set_index_list(config)
+    draw = random.Random(policy._seed).random
+    where: List[Dict[int, int]] = [{} for _ in range(num_sets)]
+    resident = [[INVALID_TAG] * num_ways for _ in range(num_sets)]
+    rrpv = [[rmax] * num_ways for _ in range(num_sets)]
+    dirty = [[False] * num_ways for _ in range(num_sets)]
+    filled = [0] * num_sets
+    hits = misses = evictions = writebacks = 0
+    for k in range(len(lines)):
+        line = lines[k]
+        s = sidx[k]
+        where_s = where[s]
+        way = where_s.get(line)
+        if way is not None:
+            hits += 1
+            if writes[k]:
+                dirty[s][way] = True
+            rrpv[s][way] = 0
+        else:
+            misses += 1
+            rrpv_s = rrpv[s]
+            if filled[s] < num_ways:
+                way = filled[s]
+                filled[s] = way + 1
+            else:
+                top = max(rrpv_s)
+                if top != rmax:
+                    bump = rmax - top
+                    for w in range(num_ways):
+                        rrpv_s[w] += bump
+                way = rrpv_s.index(rmax)
+                evictions += 1
+                if dirty[s][way]:
+                    writebacks += 1
+                del where_s[resident[s][way]]
+            resident[s][way] = line
+            where_s[line] = way
+            dirty[s][way] = writes[k]
+            rrpv_s[way] = rmax - 1 if draw() < trickle else rmax
+    return _finish(config, hits, misses, evictions, writebacks)
+
+
+def _drrip_leader_roles(num_sets: int, period: int) -> List[int]:
+    """0 = follower, 1 = SRRIP leader, 2 = BRRIP leader (reference map)."""
+    leader = [0] * num_sets
+    for set_idx in range(num_sets):
+        phase = set_idx % period
+        if phase == 0:
+            leader[set_idx] = 1
+        elif phase == period // 2:
+            leader[set_idx] = 2
+    return leader
+
+
+def kernel_drrip(req: KernelRequest) -> CacheStats:
+    """DRRIP: set-dueling PSEL + global fill RNG, kept in access order.
+
+    Inlines the reference's ``_miss_feedback`` -> role -> insertion
+    sequence per fill: leader sets vote PSEL first, then the role (not
+    the updated PSEL) decides the leader's own insertion; followers read
+    the post-feedback PSEL.
+    """
+    config = req.config
+    policy = req.policy
+    num_sets = config.num_sets
+    num_ways = config.num_ways
+    rmax = policy.rrpv_max
+    insert_long = rmax - 1
+    trickle = BRRIP.TRICKLE
+    psel_max = policy.psel_max
+    psel_half = psel_max // 2
+    leader = _drrip_leader_roles(num_sets, policy.leader_period)
+    clib = ckernels.lib()
+    if clib is not None:
+        filt = req.filt
+        n = len(filt.lines)
+        lines_arr = np.ascontiguousarray(filt.lines, dtype=np.int64)
+        writes_arr = np.ascontiguousarray(filt.writes, dtype=np.uint8)
+        sidx = filt.set_index_array(config)
+        draws = _fill_draws(policy._seed, n)
+        leader_arr = np.asarray(leader, dtype=np.int64)
+        out = np.zeros(4, dtype=np.int64)
+        clib.k_drrip(
+            _i64(lines_arr), _u8(writes_arr), _i64(sidx), n,
+            num_sets, num_ways, rmax, trickle,
+            psel_max // 2, psel_max, _i64(leader_arr),
+            _f64(draws), _i64(out),
+        )
+        return _finish(config, *out.tolist())
+    lines, _, writes, _, _ = req.filt.as_lists()
+    sidx = req.filt.set_index_list(config)
+    draw = random.Random(policy._seed).random
+    psel = psel_max // 2
+    where: List[Dict[int, int]] = [{} for _ in range(num_sets)]
+    resident = [[INVALID_TAG] * num_ways for _ in range(num_sets)]
+    rrpv = [[rmax] * num_ways for _ in range(num_sets)]
+    dirty = [[False] * num_ways for _ in range(num_sets)]
+    filled = [0] * num_sets
+    hits = misses = evictions = writebacks = 0
+    for k in range(len(lines)):
+        line = lines[k]
+        s = sidx[k]
+        where_s = where[s]
+        way = where_s.get(line)
+        if way is not None:
+            hits += 1
+            if writes[k]:
+                dirty[s][way] = True
+            rrpv[s][way] = 0
+        else:
+            misses += 1
+            rrpv_s = rrpv[s]
+            if filled[s] < num_ways:
+                way = filled[s]
+                filled[s] = way + 1
+            else:
+                top = max(rrpv_s)
+                if top != rmax:
+                    bump = rmax - top
+                    for w in range(num_ways):
+                        rrpv_s[w] += bump
+                way = rrpv_s.index(rmax)
+                evictions += 1
+                if dirty[s][way]:
+                    writebacks += 1
+                del where_s[resident[s][way]]
+            resident[s][way] = line
+            where_s[line] = way
+            dirty[s][way] = writes[k]
+            role = leader[s]
+            if role == 1:
+                if psel < psel_max:
+                    psel += 1  # SRRIP leader missed -> lean BRRIP
+                use_brrip = False
+            elif role == 2:
+                if psel > 0:
+                    psel -= 1  # BRRIP leader missed -> lean SRRIP
+                use_brrip = True
+            else:
+                use_brrip = psel > psel_half
+            if not use_brrip:
+                rrpv_s[way] = insert_long
+            else:
+                rrpv_s[way] = insert_long if draw() < trickle else rmax
+    return _finish(config, hits, misses, evictions, writebacks)
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+
+#: Kernel name -> implementation. Names are what
+#: ``ReplacementPolicy.replay_kernel()`` returns (see the exact-type
+#: table in :mod:`repro.policies.registry`).
+KERNEL_TABLE: Dict[str, Callable[[KernelRequest], CacheStats]] = {
+    "lru": kernel_lru,
+    "lip": kernel_lip,
+    "bit-plru": kernel_bit_plru,
+    "random": kernel_random,
+    "srrip": kernel_srrip,
+    "brrip": kernel_brrip,
+    "drrip": kernel_drrip,
+    "opt": kernel_opt,
+}
+
+
+def resolve_kernel(
+    policy,
+) -> Optional[Tuple[str, Callable[[KernelRequest], CacheStats]]]:
+    """``(name, fn)`` for the kernel ``policy`` advertises, else None.
+
+    A policy advertising a name this module does not implement is a wiring
+    bug (the dispatch would silently fall back and hide the lost speedup),
+    so it raises instead; simlint's ``kernel-resolve`` rule catches the
+    same drift statically.
+    """
+    name = policy.replay_kernel()
+    if name is None:
+        return None
+    fn = KERNEL_TABLE.get(name)
+    if fn is None:
+        raise SimulationError(
+            f"policy {policy.name!r} advertises replay kernel {name!r}, "
+            f"but sim.kernels implements {sorted(KERNEL_TABLE)}"
+        )
+    return name, fn

@@ -1,0 +1,198 @@
+"""Parallel sweep execution: fan (graph, app, policy-chunk) work items
+over a process pool.
+
+A policy sweep is embarrassingly parallel *between* work items — each
+(graph, app, policy) simulation is independent — but naively pickling
+work to workers would ship multi-megabyte prepared traces per task.
+Instead, tasks are small descriptors (:class:`SweepTask`: names,
+scale, seed, policy names) and every worker **rebuilds** the prepared
+run locally on first use, memoizing it in a per-process cache keyed by
+``(app, graph, scale, seed)``. Graph generation and app execution are
+seed-deterministic, so every worker reconstructs byte-identical traces;
+the private-level filter and the kernel partition caches then live on
+the worker's own :class:`~repro.apps.base.PreparedRun` and are shared
+by all policies chunked into the same task. Nothing large crosses the
+process boundary in either direction — results come back as plain
+per-policy stat dicts.
+
+Determinism: simulations are replay-exact regardless of which process
+runs them (policies draw from their own seeded RNGs), and
+:func:`run_sweep` returns rows in task-submission order, so
+``jobs=N`` output is bit-identical to ``jobs=1`` output
+(``tests/sim/test_parallel.py`` locks this in).
+
+Chunking: group a few policies per task (:func:`policy_chunks`) so the
+per-worker prepare cost amortizes, but keep chunks small enough to
+load-balance — one task per (graph, app, ~2-4 policies) is a good
+default shape.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import apps as apps_module
+from ..cache.config import scaled_hierarchy
+from ..graph import datasets
+from .driver import prepare_run, simulate_prepared
+
+__all__ = [
+    "APP_FACTORIES",
+    "SweepTask",
+    "policy_chunks",
+    "run_sweep",
+    "sweep_rows",
+]
+
+#: App name -> zero-argument factory (shared with the CLI).
+APP_FACTORIES = {
+    "PR": apps_module.PageRank,
+    "CC": apps_module.ConnectedComponents,
+    "PR-Delta": apps_module.PageRankDelta,
+    "Radii": apps_module.Radii,
+    "MIS": apps_module.MaximalIndependentSet,
+    "BFS": apps_module.BFS,
+    "SSSP": apps_module.SSSP,
+    "kCore": apps_module.KCore,
+}
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of sweep work: a few policies on one (app, graph) run.
+
+    Carries only names and small scalars so pickling it to a worker is
+    cheap; the worker materializes (and caches) the heavy state.
+    """
+
+    graph: str
+    app: str = "PR"
+    policies: Tuple[str, ...] = ("LRU",)
+    scale: str = "small"
+    seed: int = 42
+    engine: str = "fast"
+    params: Tuple[Tuple[str, object], ...] = field(default_factory=tuple)
+
+    def prepare_key(self) -> Tuple[object, ...]:
+        return (self.app, self.graph, self.scale, self.seed, self.params)
+
+
+def policy_chunks(
+    policies: Sequence[str], chunk_size: int = 2
+) -> List[Tuple[str, ...]]:
+    """Split a policy list into consecutive chunks of ``chunk_size``."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [
+        tuple(policies[i:i + chunk_size])
+        for i in range(0, len(policies), chunk_size)
+    ]
+
+
+# Per-process prepared-run cache. In a worker this persists across all
+# tasks the pool hands it; in the parent (serial path) it plays the same
+# role. PreparedRun hosts the decoded-trace/filter/partition caches, so
+# reusing one across tasks is what makes chunked sweeps fast.
+_PREPARED_CACHE: Dict[Tuple[object, ...], object] = {}
+
+
+def _prepared_for(task: SweepTask):
+    key = task.prepare_key()
+    prepared = _PREPARED_CACHE.get(key)
+    if prepared is None:
+        graph = datasets.load(task.graph, scale=task.scale, seed=task.seed)
+        prepared = prepare_run(
+            APP_FACTORIES[task.app](), graph, **dict(task.params)
+        )
+        _PREPARED_CACHE[key] = prepared
+    return prepared
+
+
+def run_task(task: SweepTask) -> List[Dict[str, object]]:
+    """Simulate every policy in one task; returns plain stat rows.
+
+    Rows are primitives only (no SimResult / CacheStats objects), so the
+    return trip through the process pool stays tiny.
+    """
+    prepared = _prepared_for(task)
+    hierarchy = scaled_hierarchy(task.scale)
+    rows: List[Dict[str, object]] = []
+    for policy in task.policies:
+        result = simulate_prepared(
+            prepared, policy, hierarchy, engine=task.engine
+        )
+        llc = result.llc
+        rows.append(
+            {
+                "graph": task.graph,
+                "app": task.app,
+                "policy": policy,
+                "scale": task.scale,
+                "seed": task.seed,
+                "llc_accesses": llc.accesses,
+                "llc_hits": llc.hits,
+                "llc_misses": llc.misses,
+                "llc_evictions": llc.evictions,
+                "llc_writebacks": llc.writebacks,
+                "llc_miss_rate": result.llc_miss_rate,
+                "llc_mpki": result.llc_mpki,
+                "cycles": result.cycles,
+                "instructions": result.instructions,
+                "reserved_ways": result.reserved_llc_ways,
+            }
+        )
+    return rows
+
+
+def run_sweep(
+    tasks: Sequence[SweepTask], jobs: int = 1
+) -> List[Dict[str, object]]:
+    """Run sweep tasks, optionally across ``jobs`` worker processes.
+
+    Results are the concatenation of each task's rows **in task order**
+    (policies in task-declared order within a task), independent of
+    which worker finished first — output is identical for any ``jobs``.
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        out: List[Dict[str, object]] = []
+        for task in tasks:
+            out.extend(run_task(task))
+        return out
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        # Executor.map preserves input order, so collation is trivial.
+        per_task = list(pool.map(run_task, tasks, chunksize=1))
+    return [row for rows in per_task for row in rows]
+
+
+def sweep_rows(
+    graphs: Sequence[str],
+    policies: Sequence[str],
+    apps: Sequence[str] = ("PR",),
+    scale: str = "small",
+    seed: int = 42,
+    jobs: int = 1,
+    chunk_size: int = 2,
+    engine: str = "fast",
+) -> List[Dict[str, object]]:
+    """Convenience matrix sweep: graphs x apps x policies -> stat rows.
+
+    Chunks the policy axis (policies sharing a chunk reuse one worker's
+    prepared run and filter caches) and fans the (graph, app, chunk)
+    items over :func:`run_sweep`.
+    """
+    tasks = [
+        SweepTask(
+            graph=graph,
+            app=app,
+            policies=chunk,
+            scale=scale,
+            seed=seed,
+            engine=engine,
+        )
+        for graph in graphs
+        for app in apps
+        for chunk in policy_chunks(policies, chunk_size)
+    ]
+    return run_sweep(tasks, jobs=jobs)

@@ -1,0 +1,115 @@
+"""Parallel sweep tests: worker results are bit-identical to serial,
+ordering is deterministic, and the CLI plumbs ``--jobs`` through."""
+
+import pytest
+
+from repro.sim.parallel import (
+    APP_FACTORIES,
+    SweepTask,
+    policy_chunks,
+    run_sweep,
+    run_task,
+    sweep_rows,
+)
+
+POLICIES = ("LRU", "SRRIP", "DRRIP", "OPT")
+
+
+class TestPolicyChunks:
+    def test_chunks_cover_in_order(self):
+        chunks = policy_chunks(list(POLICIES), chunk_size=3)
+        assert chunks == [("LRU", "SRRIP", "DRRIP"), ("OPT",)]
+
+    def test_chunk_size_one(self):
+        assert policy_chunks(["A", "B"], 1) == [("A",), ("B",)]
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            policy_chunks(["A"], 0)
+
+
+class TestRunTask:
+    def test_rows_are_plain_primitives(self):
+        task = SweepTask(graph="URAND", policies=("LRU", "DRRIP"))
+        rows = run_task(task)
+        assert [row["policy"] for row in rows] == ["LRU", "DRRIP"]
+        for row in rows:
+            for value in row.values():
+                assert isinstance(value, (str, int, float, bool))
+            assert row["llc_hits"] + row["llc_misses"] == row["llc_accesses"]
+
+    def test_prepared_run_cached_across_tasks(self):
+        from repro.sim import parallel
+
+        before = dict(parallel._PREPARED_CACHE)
+        try:
+            parallel._PREPARED_CACHE.clear()
+            run_task(SweepTask(graph="URAND", policies=("LRU",)))
+            run_task(SweepTask(graph="URAND", policies=("SRRIP",)))
+            assert len(parallel._PREPARED_CACHE) == 1
+        finally:
+            parallel._PREPARED_CACHE.clear()
+            parallel._PREPARED_CACHE.update(before)
+
+
+class TestSweepDeterminism:
+    """jobs=N output must be byte-identical to jobs=1 output."""
+
+    def test_jobs_parallel_matches_serial(self):
+        serial = sweep_rows(
+            ["URAND", "KRON"], POLICIES, scale="small", jobs=1
+        )
+        parallel = sweep_rows(
+            ["URAND", "KRON"], POLICIES, scale="small", jobs=4
+        )
+        assert serial == parallel
+        # Ordering: graph-major, then policy order as declared.
+        assert [r["policy"] for r in serial[: len(POLICIES)]] == list(
+            POLICIES
+        )
+        assert serial[0]["graph"] == "URAND"
+        assert serial[len(POLICIES)]["graph"] == "KRON"
+
+    def test_single_task_stays_serial(self):
+        tasks = [SweepTask(graph="URAND", policies=("LRU",))]
+        assert run_sweep(tasks, jobs=8) == run_sweep(tasks, jobs=1)
+
+
+class TestExperimentsJobs:
+    def test_mpki_rows_jobs_identical(self):
+        from repro.sim.experiments import fig02_sota_mpki
+
+        serial = fig02_sota_mpki(graphs=("URAND",), jobs=1)
+        fanned = fig02_sota_mpki(graphs=("URAND",), jobs=2)
+        assert serial == fanned
+
+
+class TestCLIJobs:
+    def test_compare_jobs_matches_serial(self, capsys):
+        from repro.cli import main
+
+        args = [
+            "compare", "--app", "PR", "--graph", "URAND",
+            "--policies", "LRU,DRRIP",
+        ]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
+    def test_sanitize_forces_serial(self, capsys):
+        from repro.cli import main
+
+        args = [
+            "compare", "--app", "PR", "--graph", "URAND",
+            "--policies", "LRU", "--sanitize", "--jobs", "4",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "--jobs 1" in out
+
+    def test_app_factories_shared_with_cli(self):
+        from repro import cli
+
+        assert cli.APP_FACTORIES is APP_FACTORIES
