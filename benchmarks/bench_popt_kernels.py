@@ -1,0 +1,61 @@
+"""Next-ref kernel throughput: T-OPT/P-OPT replay kernels vs generic.
+
+``bench_popt_kernel_throughput`` isolates phase 3 for the paper's own
+policies: for T-OPT and all three P-OPT variants it times the generic
+per-access LLC loop against the next-ref replay kernel (``t-opt`` /
+``p-opt`` in ``KERNEL_TABLE``) over identical, pre-warmed caches, and
+writes ``results/BENCH_popt_kernels.json``. Beyond the timing, every row
+asserts the bit-identity contract: same miss counts from both paths and
+matching engine-cost counters (``rm_lookups``, ties, epoch transitions,
+``bytes_streamed`` — the inputs to the timing model and Fig. 15).
+
+The always-on floor is conservative (it must hold on the pure-Python
+kernel fallback); when the compiled C kernels are live, every policy
+must clear the compiled floor.
+"""
+
+from common import (
+    get_scale,
+    report,
+    run_once,
+    write_popt_kernel_report,
+)
+
+from repro.sim.experiments import (
+    POPT_KERNEL_SWEEP_POLICIES,
+    popt_kernel_throughput_sweep,
+)
+
+# Guaranteed-everywhere floor (pure-Python fallback) and the floor all
+# next-ref policies must clear when the compiled kernels are live.
+KERNEL_SPEEDUP_FLOOR = 1.3
+COMPILED_SPEEDUP_FLOOR = 5.0
+
+
+def bench_popt_kernel_throughput(benchmark):
+    rows = run_once(
+        benchmark, popt_kernel_throughput_sweep, scale=get_scale()
+    )
+    report(
+        "popt_kernels",
+        "Next-ref kernel throughput (phase-3 replay, generic vs kernel)",
+        rows,
+        notes="generic = per-access SetAssociativeCache loop with "
+        "POPT/TOPT victim hooks; kernel = the t-opt/p-opt replay "
+        "kernels (compiled when a C toolchain is available). Identical "
+        "miss counts and engine-cost counters are asserted, caches "
+        "pre-warmed.",
+    )
+    path = write_popt_kernel_report(rows)
+    assert path.exists()
+
+    assert {row["policy"] for row in rows} >= set(
+        POPT_KERNEL_SWEEP_POLICIES
+    )
+    for row in rows:
+        assert row["kernel"] is not None, row
+        assert row["misses_generic"] == row["misses_kernel"], row
+        assert row["counters_match"], row
+        assert row["kernel_speedup"] >= KERNEL_SPEEDUP_FLOOR, row
+        if row["compiled"]:
+            assert row["kernel_speedup"] >= COMPILED_SPEEDUP_FLOOR, row

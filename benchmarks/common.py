@@ -25,6 +25,7 @@ from repro.sim.tables import format_table
 RESULTS_DIR = Path(__file__).parent / "results"
 ENGINE_REPORT = RESULTS_DIR / "BENCH_engine.json"
 KERNEL_REPORT = RESULTS_DIR / "BENCH_kernels.json"
+POPT_KERNEL_REPORT = RESULTS_DIR / "BENCH_popt_kernels.json"
 
 
 def get_scale() -> str:
@@ -79,6 +80,22 @@ def write_kernel_report(rows: List[Dict[str, object]]) -> Path:
         json.dumps({"scale": get_scale(), "rows": rows}, indent=2) + "\n"
     )
     return KERNEL_REPORT
+
+
+def write_popt_kernel_report(rows: List[Dict[str, object]]) -> Path:
+    """Persist next-ref kernel rows as ``BENCH_popt_kernels.json``.
+
+    Per T-OPT/P-OPT policy: phase-3 replay seconds under the generic
+    per-access loop vs the next-ref replay kernel, the speedup, the
+    dispatched kernel name, whether the compiled (C) form was in use,
+    miss counts from both paths, and whether the engine-cost counters
+    matched (CI asserts identity and a speedup floor).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    POPT_KERNEL_REPORT.write_text(
+        json.dumps({"scale": get_scale(), "rows": rows}, indent=2) + "\n"
+    )
+    return POPT_KERNEL_REPORT
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -96,13 +96,18 @@ def replay_kernels() -> Dict[type, str]:
     Consulted by :meth:`ReplacementPolicy.replay_kernel`. Keys are
     looked up by ``type(policy)`` — **not** ``isinstance`` — so a
     subclass never silently inherits a kernel that does not model its
-    behavior (BIP subclasses LIP but adds an RNG on fill; T-OPT/P-OPT/
+    behavior (BIP subclasses LIP but adds an RNG on fill;
     Hawkeye/SHiP/GRASP/SDBP/Leeway/BIP all stay on the generic
-    per-access path). Built lazily so registering the table does not
-    force-import every policy module at package import.
+    per-access path). P-OPT additionally overrides ``replay_kernel`` to
+    fall back to the generic path when its tie-break sub-policy is not
+    exactly DRRIP (the kernel inlines DRRIP's RRPV/PSEL evolution).
+    Built lazily so registering the table does not force-import every
+    policy module at package import.
     """
     global _REPLAY_KERNELS
     if _REPLAY_KERNELS is None:
+        from ..popt.policy import POPT
+        from ..popt.topt import TOPT
         from .lip import LIP
         from .opt import BeladyOPT
 
@@ -115,6 +120,8 @@ def replay_kernels() -> Dict[type, str]:
             BRRIP: "brrip",
             DRRIP: "drrip",
             BeladyOPT: "opt",
+            TOPT: "t-opt",
+            POPT: "p-opt",
         }
     return _REPLAY_KERNELS
 

@@ -23,11 +23,17 @@ from .rereference import (
     build_rereference_matrix,
     epoch_geometry,
 )
-from .topt import TOPT, IrregularStream, build_line_references
+from .topt import (
+    TOPT,
+    IrregularStream,
+    build_line_reference_csr,
+    build_line_references,
+)
 
 __all__ = [
     "TOPT",
     "IrregularStream",
+    "build_line_reference_csr",
     "build_line_references",
     "RereferenceMatrix",
     "build_rereference_matrix",

@@ -24,7 +24,7 @@ in: ``inter_only``, ``inter_intra`` (default P-OPT), or ``single_epoch``
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import PolicyError
 from ..memory.layout import ArraySpan
@@ -72,8 +72,33 @@ class POPT(ReplacementPolicy):
             )
             if epoch_size is None:
                 epoch_size = stream.matrix.epoch_size
+            elif stream.matrix.epoch_size != epoch_size:
+                # _note_epoch tracks ONE currVertex epoch for the streaming
+                # engine; matrices with different epoch geometries would get
+                # their column transfers miscounted against it.
+                raise PolicyError(
+                    "P-OPT streams disagree on epoch geometry: epoch_size "
+                    f"{stream.matrix.epoch_size} vs {epoch_size}; build all "
+                    "Rereference Matrices with the same entry_bits/vertex "
+                    "range or use separate policies"
+                )
         self._epoch_size = epoch_size
+        # line -> (matrix, line offset), first stream winning overlaps like
+        # the register scan. Gated: a dict over tens of millions of lines
+        # would dwarf the matrices themselves, so the scan stays as the
+        # fallback for huge irregular footprints.
+        total_lines = sum(bound - base for base, bound, _ in self._regions)
+        self._line_table: Optional[
+            Dict[int, Tuple[RereferenceMatrix, int]]
+        ] = None
+        if total_lines <= 2_000_000:
+            table: Dict[int, Tuple[RereferenceMatrix, int]] = {}
+            for line_base, line_bound, matrix in reversed(self._regions):
+                for line in range(line_base, line_bound):
+                    table[line] = (matrix, line - line_base)
+            self._line_table = table
         self._tie_break = tie_break if tie_break is not None else DRRIP()
+        self._current_epoch = -1
         self.counters = PoptCounters()
         variant = streams[0].matrix.variant
         if variant == "single_epoch":
@@ -86,10 +111,23 @@ class POPT(ReplacementPolicy):
     def bind(self, cache) -> None:
         super().bind(cache)
         self._tie_break.bind(cache)
-        self._current_epoch = -1
 
     def reset(self) -> None:
-        pass  # all per-set state lives in the tie-break sub-policy
+        # A rebind or mid-run cache reset must not leak the previous
+        # replay's epoch position or engine-cost counters into the next
+        # one (stale epochs double-count transitions/bytes_streamed).
+        self._current_epoch = -1
+        self.counters = PoptCounters()
+        if self._tie_break.cache is not None:
+            self._tie_break.reset()
+
+    def replay_kernel(self):
+        # The replay kernel inlines the tie-break sub-policy's RRPV/PSEL
+        # evolution and models DRRIP exactly; any other tie-break (or a
+        # DRRIP subclass) must take the generic per-access path.
+        if type(self._tie_break) is not DRRIP:
+            return None
+        return super().replay_kernel()
 
     def resident_bytes(self) -> int:
         """LLC bytes pinned for RM columns across all streams."""
@@ -145,6 +183,14 @@ class POPT(ReplacementPolicy):
 
     def _lookup(self, line_addr: int, vertex: int):
         """(is_irregular, next_ref_distance) for one way."""
+        table = self._line_table
+        if table is not None:
+            entry = table.get(line_addr)
+            if entry is None:
+                return False, 0
+            matrix, offset = entry
+            self.counters.rm_lookups += 1
+            return True, matrix.find_next_ref(offset, vertex)
         for line_base, line_bound, matrix in self._regions:
             if line_base <= line_addr < line_bound:
                 self.counters.rm_lookups += 1

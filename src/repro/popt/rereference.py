@@ -81,9 +81,18 @@ class RereferenceMatrix:
         if self.variant not in VARIANTS:
             raise PolicyError(f"unknown variant {self.variant!r}")
         self._msb = 1 << (self.entry_bits - 1)
+        # The decode masks must mirror the builder's field_bits exactly:
+        # inter_only spends ALL entry bits on the distance (sentinel 2^b-1),
+        # inter_intra loses one to the MSB flag, single_epoch loses two
+        # (MSB flag + next-epoch bit). A mask narrower than the stored
+        # sentinel would make past-the-end epochs look *nearer* than
+        # known-far in-matrix lines.
         if self.variant == "single_epoch":
             self._next_bit = 1 << (self.entry_bits - 2)
             self._low_mask = self._next_bit - 1
+        elif self.variant == "inter_only":
+            self._next_bit = 0
+            self._low_mask = (1 << self.entry_bits) - 1
         else:
             self._next_bit = 0
             self._low_mask = self._msb - 1
@@ -172,12 +181,36 @@ class RereferenceMatrix:
     def find_next_ref_vector(
         self, line_ids: np.ndarray, curr_vertex: int
     ) -> np.ndarray:
-        """Vectorized :meth:`find_next_ref` (used by tests/benchmarks)."""
+        """Vectorized :meth:`find_next_ref`: Algorithm 2 decoded for a
+        whole batch of lines (e.g. every way of an eviction set) with
+        masked arithmetic directly on the ``entries`` rows."""
         line_ids = np.asarray(line_ids, dtype=np.int64)
-        return np.array(
-            [self.find_next_ref(int(line), curr_vertex) for line in line_ids],
-            dtype=np.int64,
-        )
+        epoch_id = curr_vertex // self.epoch_size
+        low_mask = self._low_mask
+        if epoch_id >= self.num_epochs:
+            return np.full(line_ids.shape, low_mask, dtype=np.int64)
+        current = self.entries[line_ids, epoch_id].astype(np.int64)
+        if self.variant == "inter_only":
+            return current
+        msb = self._msb
+        out = current & low_mask  # inter-epoch distance where MSB is set
+        intra = (current & msb) == 0
+        # Referenced this epoch: 0 until execution passes the final-access
+        # sub-epoch, then the minimum distance consistent with the encoding.
+        epoch_offset = curr_vertex - epoch_id * self.epoch_size
+        curr_sub_epoch = epoch_offset // self.sub_epoch_size
+        passed = intra & (curr_sub_epoch > out)
+        out[intra] = 0
+        if self.variant == "single_epoch":
+            out[passed] = np.where(current[passed] & self._next_bit, 1, 2)
+        elif epoch_id + 1 >= self.num_epochs:
+            out[passed] = low_mask
+        else:
+            next_entry = self.entries[line_ids, epoch_id + 1].astype(np.int64)
+            out[passed] = np.where(
+                next_entry[passed] & msb, 1 + (next_entry[passed] & low_mask), 1
+            )
+        return out
 
 
 def build_rereference_matrix(

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,7 +29,12 @@ from ..graph.csr import CSRGraph
 from ..memory.layout import ArraySpan
 from ..policies.base import ReplacementPolicy
 
-__all__ = ["IrregularStream", "TOPT", "build_line_references"]
+__all__ = [
+    "IrregularStream",
+    "TOPT",
+    "build_line_references",
+    "build_line_reference_csr",
+]
 
 #: Next-ref value assigned to lines never referenced again.
 NEVER = 1 << 40
@@ -51,14 +56,17 @@ class IrregularStream:
     reference_graph: CSRGraph
 
 
-def build_line_references(
+def build_line_reference_csr(
     reference_graph: CSRGraph, elems_per_line: int, num_lines: int
-) -> List[List[int]]:
-    """Per-cache-line sorted outer-vertex reference lists.
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-cache-line sorted outer-vertex references in CSR form.
 
-    Line ``l`` covers elements ``[l*epl, (l+1)*epl)``; its reference list
-    is the sorted union of those elements' out-neighbor lists in the
-    reference graph (deduplicated).
+    Line ``l`` covers elements ``[l*epl, (l+1)*epl)``; its references are
+    the sorted union of those elements' out-neighbor lists in the
+    reference graph (deduplicated): ``refs[offsets[l]:offsets[l+1]]``.
+    One flat (offsets, refs) pair instead of ``num_lines`` Python lists
+    keeps the whole next-ref table in two arrays the replay kernels can
+    binary-search directly.
     """
     n = reference_graph.num_vertices
     degrees = reference_graph.degrees()
@@ -68,17 +76,35 @@ def build_line_references(
     order = np.lexsort((outer, lines))
     lines_sorted = lines[order]
     outer_sorted = outer[order]
-    refs: List[List[int]] = [[] for _ in range(num_lines)]
-    boundaries = np.searchsorted(
+    if lines_sorted.size:
+        # Dedup (line, outer) pairs: after the lexsort duplicates are
+        # adjacent, so a keep-mask replaces the per-line np.unique calls.
+        keep = np.empty(lines_sorted.size, dtype=bool)
+        keep[0] = True
+        np.logical_or(
+            lines_sorted[1:] != lines_sorted[:-1],
+            outer_sorted[1:] != outer_sorted[:-1],
+            out=keep[1:],
+        )
+        lines_sorted = lines_sorted[keep]
+        outer_sorted = outer_sorted[keep]
+    offsets = np.searchsorted(
         lines_sorted, np.arange(num_lines + 1), side="left"
+    ).astype(np.int64)
+    return offsets, np.ascontiguousarray(outer_sorted, dtype=np.int64)
+
+
+def build_line_references(
+    reference_graph: CSRGraph, elems_per_line: int, num_lines: int
+) -> List[List[int]]:
+    """List-of-lists view of :func:`build_line_reference_csr`."""
+    offsets, refs = build_line_reference_csr(
+        reference_graph, elems_per_line, num_lines
     )
-    for line in range(num_lines):
-        lo, hi = boundaries[line], boundaries[line + 1]
-        if lo == hi:
-            continue
-        segment = np.unique(outer_sorted[lo:hi])
-        refs[line] = segment.tolist()
-    return refs
+    return [
+        refs[offsets[line]:offsets[line + 1]].tolist()
+        for line in range(num_lines)
+    ]
 
 
 class TOPT(ReplacementPolicy):
@@ -92,36 +118,77 @@ class TOPT(ReplacementPolicy):
         if not streams:
             raise PolicyError("T-OPT needs at least one irregular stream")
         self.line_size = line_size
-        # (line_base, line_bound, refs) per irregular stream, where
-        # line_base/bound are line-granular addresses.
-        self._regions: List[Tuple[int, int, List[List[int]]]] = []
+        # All streams' reference lists flattened into ONE (offsets, refs)
+        # CSR pair; per stream we keep (line_base, line_bound, offsets)
+        # with the offsets pre-shifted into the flat refs array.
+        self._regions: List[Tuple[int, int, np.ndarray]] = []
+        ref_parts: List[np.ndarray] = []
+        total_refs = 0
+        total_lines = 0
         for stream in streams:
             span = stream.span
             line_base = span.base // line_size
             num_lines = span.num_lines
-            refs = build_line_references(
+            offsets, refs = build_line_reference_csr(
                 stream.reference_graph, span.elems_per_line, num_lines
             )
-            self._regions.append((line_base, line_base + num_lines, refs))
+            self._regions.append(
+                (line_base, line_base + num_lines, offsets + total_refs)
+            )
+            ref_parts.append(refs)
+            total_refs += refs.size
+            total_lines += num_lines
+        self._refs_arr = (
+            np.concatenate(ref_parts) if ref_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        self._refs: List[int] = self._refs_arr.tolist()
+        # line -> (refs range) lookup, first stream winning overlaps like
+        # the region scan. Gated like the Rereference Matrix row cache: a
+        # dict over tens of millions of lines is not worth its memory.
+        self._line_table: Optional[Dict[int, Tuple[int, int]]] = None
+        if total_lines <= 2_000_000:
+            table: Dict[int, Tuple[int, int]] = {}
+            for line_base, line_bound, offsets in reversed(self._regions):
+                bounds = offsets.tolist()
+                for index, line in enumerate(range(line_base, line_bound)):
+                    table[line] = (bounds[index], bounds[index + 1])
+            self._line_table = table
         # Counters quantifying the overhead an actual T-OPT would pay.
         self.replacements = 0
         self.transpose_walk_elements = 0
 
-    def _next_ref(self, line_addr: int, curr_vertex: int) -> int:
-        for line_base, line_bound, refs in self._regions:
+    def reset(self) -> None:
+        # Rebinding (or a mid-run cache reset) starts a fresh replay: the
+        # walk-cost counters must not accumulate across replays.
+        self.replacements = 0
+        self.transpose_walk_elements = 0
+
+    def _refs_range(self, line_addr: int) -> Tuple[int, int]:
+        """(lo, hi) slice of the flat refs array, or (-1, -1) (streaming)."""
+        table = self._line_table
+        if table is not None:
+            return table.get(line_addr, (-1, -1))
+        for line_base, line_bound, offsets in self._regions:
             if line_base <= line_addr < line_bound:
-                line_refs = refs[line_addr - line_base]
-                # Inclusive of the current outer vertex: references made
-                # while processing it still count as imminent (the same
-                # convention as Algorithm 2's sub-epoch comparison).
-                idx = bisect.bisect_left(line_refs, curr_vertex)
-                # A real T-OPT would walk each vertex's out-neighbors up
-                # to the next reference: account the equivalent work.
-                self.transpose_walk_elements += max(1, idx)
-                if idx >= len(line_refs):
-                    return NEVER
-                return line_refs[idx]
-        return STREAMING
+                index = line_addr - line_base
+                return int(offsets[index]), int(offsets[index + 1])
+        return -1, -1
+
+    def _next_ref(self, line_addr: int, curr_vertex: int) -> int:
+        lo, hi = self._refs_range(line_addr)
+        if lo < 0:
+            return STREAMING
+        # Inclusive of the current outer vertex: references made while
+        # processing it still count as imminent (the same convention as
+        # Algorithm 2's sub-epoch comparison).
+        idx = bisect.bisect_left(self._refs, curr_vertex, lo, hi)
+        # A real T-OPT would walk each vertex's out-neighbors up to the
+        # next reference: account the equivalent work.
+        self.transpose_walk_elements += max(1, idx - lo)
+        if idx >= hi:
+            return NEVER
+        return self._refs[idx]
 
     def choose_victim(self, set_idx: int, ctx) -> int:
         self.replacements += 1

@@ -56,6 +56,11 @@ _SIGNATURES = {
                 _F64P, _I64P],
     "k_drrip": [_I64P, _U8P, _I64P, _I64, _I64, _I64, _I64, _F64,
                 _I64, _I64, _I64P, _F64P, _I64P],
+    "k_topt": [_I64P, _U8P, _I64P, _I64P, _I64P, _I64P, _I64P, _I64,
+               _I64, _I64P, _I64P],
+    "k_popt": [_I64P, _U8P, _I64P, _I64P, _I64P, _I64P, _I64, _I64,
+               _I64, _I64P, _I64P, _I64, _I64, _F64, _I64, _I64P,
+               _F64P, _I64P, _I64P],
 }
 
 

@@ -96,6 +96,8 @@ class PrivateFilter:
         self._partitions: Dict[int, tuple] = {}
         self._set_index_arrays: Dict[int, np.ndarray] = {}
         self._set_index_lists: Dict[int, list] = {}
+        self._partition_vertices: Dict[int, np.ndarray] = {}
+        self._memberships: Dict[tuple, tuple] = {}
 
     @property
     def llc_visible(self) -> int:
@@ -220,6 +222,48 @@ class PrivateFilter:
         if cached is None:
             cached = self.set_index_array(config).tolist()
             self._set_index_lists[num_sets] = cached
+        return cached
+
+    def set_partition_vertices(self, config: CacheConfig) -> np.ndarray:
+        """The ``vertices`` channel gathered into set-partition order.
+
+        The next-ref kernels are set-partitioned like the baseline ones
+        but rank victims by the current outer vertex, so they need the
+        vertex channel in the same order as :meth:`set_partition_arrays`
+        (int64, contiguous). Memoized per set count.
+        """
+        num_sets = config.num_sets
+        cached = self._partition_vertices.get(num_sets)
+        if cached is None:
+            order = self.set_partition_arrays(config)[3]
+            cached = np.ascontiguousarray(
+                np.asarray(self.vertices)[order], dtype=np.int64
+            )
+            self._partition_vertices[num_sets] = cached
+        return cached
+
+    def stream_membership(self, bounds: tuple) -> tuple:
+        """Per-access (stream index, line offset) against region bounds.
+
+        ``bounds`` is a tuple of ``(line_base, line_bound)`` pairs in
+        priority order — the first matching region wins, mirroring the
+        next-ref engine's irreg base/bound register scan — and accesses
+        matching no region get stream ``-1`` (streaming data). This is
+        the once-per-prepared-run region-membership precompute the T-OPT
+        and P-OPT kernels share, replacing their per-way linear scans.
+        Memoized per bounds tuple.
+        """
+        cached = self._memberships.get(bounds)
+        if cached is None:
+            lines = np.asarray(self.lines)
+            sid = np.full(len(lines), -1, dtype=np.int64)
+            off = np.zeros(len(lines), dtype=np.int64)
+            for index, (line_base, line_bound) in enumerate(bounds):
+                match = (sid < 0) & (lines >= line_base) & (lines < line_bound)
+                sid[match] = index
+                off[match] = lines[match] - line_base
+            cached = (sid, off)
+            self._memberships[bounds] = cached
         return cached
 
 

@@ -39,6 +39,7 @@ from .parallel import sweep_rows
 __all__ = [
     "engine_throughput_sweep",
     "kernel_throughput_sweep",
+    "popt_kernel_throughput_sweep",
     "fig02_sota_mpki",
     "fig04_topt_mpki",
     "fig07_rereference_designs",
@@ -205,6 +206,73 @@ def kernel_throughput_sweep(
                     else float("inf"),
                     "misses_generic": misses["generic"],
                     "misses_kernel": misses["fast"],
+                }
+            )
+    return rows
+
+
+POPT_KERNEL_SWEEP_POLICIES = ("T-OPT", "P-OPT", "P-OPT-Inter", "P-OPT-SE")
+
+
+def popt_kernel_throughput_sweep(
+    scale: str = "small",
+    graphs: Sequence[str] = ("DBP",),
+    policies: Sequence[str] = POPT_KERNEL_SWEEP_POLICIES,
+    seed: int = 42,
+) -> List[Dict[str, object]]:
+    """Next-ref kernel throughput: T-OPT/P-OPT kernel vs generic replay.
+
+    Same measurement protocol as :func:`kernel_throughput_sweep` (warm-up
+    pass per engine, phase-3 replay seconds from the engine details), but
+    over the paper's own policies and with two extra columns: ``kernel``
+    (the dispatched kernel name — ``None`` would mean the registry lost
+    coverage) and ``counters_match`` (the engine-cost counters the timing
+    model consumes agree between paths; trivially True for T-OPT, whose
+    counters live on the policy and are checked by the equivalence
+    suite).
+    """
+    from . import ckernels  # local: report which kernel form ran
+
+    hierarchy = scaled_hierarchy(scale)
+    rows = []
+    for graph_name in graphs:
+        graph = datasets.load(graph_name, scale=scale, seed=seed)
+        prepared = prepare_run(PageRank(), graph)
+        for policy in policies:
+            for engine in ("generic", "fast"):
+                simulate_prepared(
+                    prepared, policy, hierarchy, engine=engine
+                )  # warm caches
+            timings: Dict[str, float] = {}
+            misses: Dict[str, int] = {}
+            counters: Dict[str, object] = {}
+            kernel_name: Optional[str] = None
+            for engine in ("generic", "fast"):
+                result = simulate_prepared(
+                    prepared, policy, hierarchy, engine=engine
+                )
+                engine_details = result.details["engine"]
+                timings[engine] = engine_details["replay_seconds"]
+                misses[engine] = result.llc.misses
+                counters[engine] = result.popt_counters
+                if engine == "fast":
+                    kernel_name = engine_details["kernel"]
+            rows.append(
+                {
+                    "graph": graph_name,
+                    "policy": policy,
+                    "kernel": kernel_name,
+                    "compiled": ckernels.available(),
+                    "generic_seconds": round(timings["generic"], 5),
+                    "kernel_seconds": round(timings["fast"], 5),
+                    "kernel_speedup": round(
+                        timings["generic"] / timings["fast"], 2
+                    )
+                    if timings["fast"] > 0
+                    else float("inf"),
+                    "misses_generic": misses["generic"],
+                    "misses_kernel": misses["fast"],
+                    "counters_match": counters["generic"] == counters["fast"],
                 }
             )
     return rows

@@ -450,3 +450,211 @@ void k_drrip(const i64 *lines, const u8 *writes, const i64 *sidx, i64 n,
     free(resident); free(rrpv); free(dirty); free(filled);
     out[0] += hits; out[1] += misses; out[2] += evics; out[3] += wbs;
 }
+
+/* Next-ref kernels: the paper's own policies (T-OPT and P-OPT).
+ * Counters beyond the hit/miss quartet go into a separate cnt[] array
+ * so the Python wrapper can write them back onto the policy instance. */
+
+static i64 lower_bound(const i64 *a, i64 lo, i64 hi, i64 key)
+{
+    while (lo < hi) {
+        i64 mid = lo + (hi - lo) / 2;
+        if (a[mid] < key) lo = mid + 1; else hi = mid;
+    }
+    return lo;
+}
+
+/* cnt[0..1] += replacements, transpose_walk_elements */
+void k_topt(const i64 *lines, const u8 *writes, const i64 *vertices,
+            const i64 *lo, const i64 *hi, const i64 *refs,
+            const i64 *counts, i64 num_sets, i64 ways, i64 *out, i64 *cnt)
+{
+    i64 hits = 0, misses = 0, evics = 0, wbs = 0;
+    i64 repl = 0, walk = 0;
+    const i64 never = (i64)1 << 40;
+    i64 *resident = malloc((size_t)ways * sizeof(i64));
+    i64 *wlo = malloc((size_t)ways * sizeof(i64));
+    i64 *whi = malloc((size_t)ways * sizeof(i64));
+    u8 *dirty = malloc((size_t)ways);
+    i64 start = 0, s, k, w;
+    for (s = 0; s < num_sets; s++) {
+        i64 count = counts[s];
+        i64 stop = start + count;
+        i64 filled = 0;
+        if (!count) continue;
+        for (w = 0; w < ways; w++) { resident[w] = -1; wlo[w] = 0; whi[w] = 0; dirty[w] = 0; }
+        for (k = start; k < stop; k++) {
+            i64 line = lines[k], way;
+            PROBE(way, resident, filled, line);
+            if (way >= 0) {
+                hits++;
+                if (writes[k]) dirty[way] = 1;
+            } else {
+                misses++;
+                if (filled < ways) {
+                    way = filled++;
+                } else {
+                    i64 vertex = vertices[k];
+                    i64 victim = -1, best_way = 0, best = -1;
+                    repl++;
+                    for (w = 0; w < ways; w++) {
+                        i64 l = wlo[w], h, idx, stepped, r;
+                        if (l < 0) { victim = w; break; } /* streaming */
+                        h = whi[w];
+                        idx = lower_bound(refs, l, h, vertex);
+                        stepped = idx - l;
+                        walk += stepped > 1 ? stepped : 1;
+                        r = idx >= h ? never : refs[idx];
+                        if (r > best) { best = r; best_way = w; }
+                    }
+                    way = victim >= 0 ? victim : best_way;
+                    evics++;
+                    if (dirty[way]) wbs++;
+                }
+                resident[way] = line;
+                dirty[way] = writes[k];
+                wlo[way] = lo[k];
+                whi[way] = hi[k];
+            }
+        }
+        start = stop;
+    }
+    free(resident); free(wlo); free(whi); free(dirty);
+    out[0] += hits; out[1] += misses; out[2] += evics; out[3] += wbs;
+    cnt[0] += repl; cnt[1] += walk;
+}
+
+/* Algorithm 2 over one flattened Rereference Matrix row; sp is the
+ * stream's 7-slot parameter block {variant, msb, low_mask, next_bit,
+ * epoch_size, sub_epoch_size, num_epochs}. All operands are
+ * non-negative, so C integer division is the floor division the
+ * Python decode uses. */
+static i64 popt_next_ref(const i64 *sp, const i64 *entries, i64 row_base,
+                         i64 vertex)
+{
+    i64 variant = sp[0], msb = sp[1], low = sp[2], nbit = sp[3];
+    i64 esize = sp[4], ssize = sp[5], nepochs = sp[6];
+    i64 epoch = vertex / esize;
+    i64 current, last_sub, curr_sub, next;
+    if (epoch >= nepochs) return low;
+    current = entries[row_base + epoch];
+    if (variant == 0) return current;
+    if (current & msb) return current & low;
+    last_sub = current & low;
+    curr_sub = (vertex - epoch * esize) / ssize;
+    if (curr_sub <= last_sub) return 0;
+    if (variant == 2) return (current & nbit) ? 1 : 2;
+    if (epoch + 1 >= nepochs) return low;
+    next = entries[row_base + epoch + 1];
+    if (next & msb) return 1 + (next & low);
+    return 1;
+}
+
+/* cnt[0..4] += replacements, streaming_evictions, rm_lookups, ties,
+ * tie_candidates (epoch accounting is vectorized on the Python side) */
+void k_popt(const i64 *lines, const u8 *writes, const i64 *vertices,
+            const i64 *sidx, const i64 *sid, const i64 *row_base, i64 n,
+            i64 num_sets, i64 ways,
+            const i64 *sparams, const i64 *entries, i64 prefer_streaming,
+            i64 rmax, double trickle, i64 psel_max, const i64 *leader,
+            const double *draws, i64 *out, i64 *cnt)
+{
+    i64 hits = 0, misses = 0, evics = 0, wbs = 0;
+    i64 repl = 0, sevic = 0, rml = 0, ties = 0, tiec = 0;
+    i64 total = num_sets * ways;
+    i64 psel = psel_max / 2, psel_half = psel_max / 2;
+    i64 *resident = malloc((size_t)total * sizeof(i64));
+    i64 *rrpv = malloc((size_t)total * sizeof(i64));
+    i64 *wsid = malloc((size_t)total * sizeof(i64));
+    i64 *wrb = malloc((size_t)total * sizeof(i64));
+    i64 *wref = malloc((size_t)ways * sizeof(i64));
+    u8 *dirty = calloc((size_t)total, 1);
+    i64 *filled = calloc((size_t)num_sets, sizeof(i64));
+    i64 k, w, dc = 0;
+    for (k = 0; k < total; k++) {
+        resident[k] = -1; rrpv[k] = rmax; wsid[k] = -1; wrb[k] = -1;
+    }
+    for (k = 0; k < n; k++) {
+        i64 line = lines[k];
+        i64 s = sidx[k];
+        i64 base = s * ways;
+        i64 *res_s = resident + base;
+        i64 *rrpv_s = rrpv + base;
+        i64 way;
+        PROBE(way, res_s, filled[s], line);
+        if (way >= 0) {
+            hits++;
+            if (writes[k]) dirty[base + way] = 1;
+            rrpv_s[way] = 0;
+        } else {
+            i64 role, use_brrip;
+            misses++;
+            if (filled[s] < ways) {
+                way = filled[s]++;
+            } else {
+                i64 vertex = vertices[k];
+                i64 victim = -1, best = -1;
+                repl++;
+                for (w = 0; w < ways; w++) {
+                    i64 sw = wsid[base + w], r;
+                    if (sw < 0) {
+                        if (prefer_streaming) {
+                            /* First streaming way wins outright. */
+                            sevic++; victim = w; break;
+                        }
+                        r = (i64)1 << 30;
+                    } else {
+                        rml++;
+                        r = popt_next_ref(sparams + 7 * sw, entries,
+                                          wrb[base + w], vertex);
+                    }
+                    wref[w] = r;
+                    if (r > best) best = r;
+                }
+                if (victim < 0) {
+                    i64 tied = 0;
+                    for (w = 0; w < ways; w++)
+                        if (wref[w] == best) {
+                            tied++;
+                            if (tied == 1) victim = w;
+                        }
+                    if (tied > 1) {
+                        i64 best_value = -1;
+                        ties++; tiec += tied;
+                        for (w = 0; w < ways; w++)
+                            if (wref[w] == best && rrpv_s[w] > best_value) {
+                                best_value = rrpv_s[w];
+                                victim = w;
+                            }
+                    }
+                }
+                way = victim;
+                evics++;
+                if (dirty[base + way]) wbs++;
+            }
+            res_s[way] = line;
+            dirty[base + way] = writes[k];
+            wsid[base + way] = sid[k];
+            wrb[base + way] = row_base[k];
+            /* DRRIP tie-break fill (same sequence as k_drrip). */
+            role = leader[s];
+            if (role == 1) {
+                if (psel < psel_max) psel++;
+                use_brrip = 0;
+            } else if (role == 2) {
+                if (psel > 0) psel--;
+                use_brrip = 1;
+            } else {
+                use_brrip = psel > psel_half;
+            }
+            if (!use_brrip)
+                rrpv_s[way] = rmax - 1;
+            else
+                rrpv_s[way] = draws[dc++] < trickle ? rmax - 1 : rmax;
+        }
+    }
+    free(resident); free(rrpv); free(wsid); free(wrb); free(wref);
+    free(dirty); free(filled);
+    out[0] += hits; out[1] += misses; out[2] += evics; out[3] += wbs;
+    cnt[0] += repl; cnt[1] += sevic; cnt[2] += rml; cnt[3] += ties; cnt[4] += tiec;
+}

@@ -74,12 +74,27 @@ pre-generated in Python with the policy's own ``random.Random`` (one
 per access is a safe upper bound on fills) and handed over as a float64
 array — consumption order matches the reference's lazy draws exactly.
 
+**Next-ref** (T-OPT, P-OPT) — the paper's own policies, with the
+region-membership scan hoisted out of the loop: every access's line is
+resolved against the irregular base/bound regions once per prepared
+run (:meth:`~repro.sim.engine.PrivateFilter.stream_membership`), each
+way remembers its resident line's annotation, and the victim scan is a
+binary search over T-OPT's flat refs CSR / inlined Algorithm 2
+arithmetic over the Rereference Matrix rows. T-OPT is set-partitioned
+(no cross-set state, additive counters); P-OPT runs in access order
+because its DRRIP tie-break carries the same PSEL/RNG coupling as
+:func:`kernel_drrip`. Both write the engine-cost counters the timing
+model and Fig. 15 consume back onto the policy instance, bit-identical
+to the generic path.
+
 Dispatch: policies advertise a kernel name via
 :meth:`~repro.policies.base.ReplacementPolicy.replay_kernel` (backed by
 the exact-type table in :mod:`repro.policies.registry`);
 :func:`resolve_kernel` maps the name to a callable here. Kernels read
-only *constructor* parameters off the policy instance (seed, RRPV
-width, PSEL width, ...) — the instance is never bound to a cache.
+only *constructor* products off the policy instance (seed, RRPV width,
+precomputed refs/matrices, ...) — the instance is never bound to a
+cache — and only the next-ref kernels write anything back (their
+replay counters).
 
 Hot-path hygiene: the ``.tolist()``/array preambles below run once per
 replay, outside the loops; simlint's ``kernels`` rule family checks
@@ -88,6 +103,7 @@ that no boxing or per-access list growth creeps *into* the loops.
 
 from __future__ import annotations
 
+import bisect
 import ctypes
 import random
 from dataclasses import dataclass
@@ -101,6 +117,8 @@ from ..cache.stats import CacheStats
 from ..errors import SimulationError
 from ..policies.random_policy import RandomReplacement
 from ..policies.rrip import BRRIP
+from ..popt.arch import PoptCounters
+from ..popt.topt import NEVER as TOPT_NEVER
 from . import ckernels
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -797,6 +815,419 @@ def kernel_drrip(req: KernelRequest) -> CacheStats:
 
 
 # ----------------------------------------------------------------------
+# Next-ref kernels (the paper's own policies: T-OPT and P-OPT)
+# ----------------------------------------------------------------------
+
+
+#: Streaming ways rank as "infinitely far" when P-OPT is configured not
+#: to prefer them outright (matches ``POPT.choose_victim``).
+_POPT_STREAMING_REF = 1 << 30
+
+#: Rereference Matrix variant codes shared by the pure and C forms.
+_RM_VARIANT_CODES = {"inter_only": 0, "inter_intra": 1, "single_epoch": 2}
+
+
+def _region_bounds(policy) -> tuple:
+    """(line_base, line_bound) pairs of a next-ref policy's regions."""
+    return tuple(
+        (line_base, line_bound)
+        for line_base, line_bound, _ in policy._regions
+    )
+
+
+def _topt_annotations(req: KernelRequest) -> tuple:
+    """Per-access refs-slice bounds, in set-partition order.
+
+    Resolves every access's line against the irregular regions ONCE
+    (vectorized, via the filter's cached membership) into ``(lo, hi)``
+    slices of T-OPT's flat refs array — ``lo = -1`` marks streaming
+    lines — then gathers them (and the vertex channel) into the same
+    per-set order as :meth:`PrivateFilter.set_partition_arrays`.
+    """
+    policy = req.policy
+    filt = req.filt
+    sid, off = filt.stream_membership(_region_bounds(policy))
+    lo = np.full(len(sid), -1, dtype=np.int64)
+    hi = np.full(len(sid), -1, dtype=np.int64)
+    for index, (_, _, offsets) in enumerate(policy._regions):
+        match = sid == index
+        if match.any():
+            offs = off[match]
+            lo[match] = offsets[offs]
+            hi[match] = offsets[offs + 1]
+    order = filt.set_partition_arrays(req.config)[3]
+    return (
+        np.ascontiguousarray(lo[order]),
+        np.ascontiguousarray(hi[order]),
+        filt.set_partition_vertices(req.config),
+    )
+
+
+def kernel_topt(req: KernelRequest) -> CacheStats:
+    """T-OPT: set-partitioned Belady emulation over the flat refs CSR.
+
+    T-OPT keeps no cross-set state and both of its counters
+    (``replacements``, ``transpose_walk_elements``) are sums over
+    per-eviction work, so the set-partitioned shape applies. Each way
+    remembers the (lo, hi) refs slice of its resident line (annotated
+    per access in the preamble — no region scan in the loop); a victim
+    scan binary-searches each slice for the current outer vertex,
+    accounting the same walk elements as ``TOPT._next_ref``, and the
+    first streaming way (``lo < 0``) short-circuits exactly like the
+    reference. Counters are written back onto the policy instance so
+    the timing model reads identical values from every engine.
+    """
+    config = req.config
+    policy = req.policy
+    num_ways = config.num_ways
+    slo_arr, shi_arr, sverts_arr = _topt_annotations(req)
+    clib = ckernels.lib()
+    if clib is not None:
+        counts, slines, swrites, _ = req.filt.set_partition_arrays(config)
+        out = np.zeros(4, dtype=np.int64)
+        cnt = np.zeros(2, dtype=np.int64)
+        clib.k_topt(
+            _i64(slines), _u8(swrites), _i64(sverts_arr),
+            _i64(slo_arr), _i64(shi_arr), _i64(policy._refs_arr),
+            _i64(counts), config.num_sets, num_ways, _i64(out), _i64(cnt),
+        )
+        policy.replacements = int(cnt[0])
+        policy.transpose_walk_elements = int(cnt[1])
+        return _finish(config, *out.tolist())
+    counts, slines, swrites, _ = req.filt.set_partition(config)
+    slo = slo_arr.tolist()
+    shi = shi_arr.tolist()
+    sverts = sverts_arr.tolist()
+    refs = policy._refs
+    search = bisect.bisect_left
+    never = TOPT_NEVER
+    hits = misses = evictions = writebacks = 0
+    replacements = walk = 0
+    start = 0
+    for count in counts:
+        if not count:
+            continue
+        stop = start + count
+        where: Dict[int, int] = {}
+        get = where.get
+        resident = [INVALID_TAG] * num_ways
+        way_lo = [0] * num_ways
+        way_hi = [0] * num_ways
+        dirty = [False] * num_ways
+        filled = 0
+        for k in range(start, stop):
+            line = slines[k]
+            way = get(line)
+            if way is not None:
+                hits += 1
+                if swrites[k]:
+                    dirty[way] = True
+            else:
+                misses += 1
+                if filled < num_ways:
+                    way = filled
+                    filled += 1
+                else:
+                    replacements += 1
+                    vertex = sverts[k]
+                    victim = -1
+                    best_way = 0
+                    best_ref = -1
+                    for w in range(num_ways):
+                        lo = way_lo[w]
+                        if lo < 0:
+                            # Streaming way: evicted immediately, and the
+                            # remaining ways are never examined.
+                            victim = w
+                            break
+                        hi = way_hi[w]
+                        idx = search(refs, vertex, lo, hi)
+                        stepped = idx - lo
+                        walk += stepped if stepped > 1 else 1
+                        ref = never if idx >= hi else refs[idx]
+                        if ref > best_ref:
+                            best_ref = ref
+                            best_way = w
+                    way = victim if victim >= 0 else best_way
+                    evictions += 1
+                    if dirty[way]:
+                        writebacks += 1
+                    del where[resident[way]]
+                resident[way] = line
+                where[line] = way
+                dirty[way] = swrites[k]
+                way_lo[way] = slo[k]
+                way_hi[way] = shi[k]
+        start = stop
+    policy.replacements = replacements
+    policy.transpose_walk_elements = walk
+    return _finish(config, hits, misses, evictions, writebacks)
+
+
+def kernel_popt(req: KernelRequest) -> CacheStats:
+    """P-OPT: access-order replay with inlined Algorithm 2 + DRRIP.
+
+    The DRRIP tie-break's set-dueling PSEL and global fill RNG couple
+    the sets exactly as in :func:`kernel_drrip`, so the access order is
+    kept (``POPT.replay_kernel`` only advertises this kernel when the
+    tie-break is exactly DRRIP). Region membership is resolved once in
+    the preamble; each way remembers its resident line's (stream, RM
+    row) so a victim scan is pure Algorithm 2 arithmetic per way, with
+    the reference's counter semantics: ``rm_lookups`` per irregular way
+    examined, first-streaming-way short-circuit (when preferred), and
+    first-max + DRRIP-RRPV resolution over tied ways.
+
+    Epoch accounting is replay-independent — ``_note_epoch`` fires once
+    per LLC-visible access (hit or fill), so ``epoch_transitions`` is
+    the number of epoch changes along the vertex channel and
+    ``bytes_streamed`` is one column per stream per transition —
+    computed vectorized up front and written back with the scan
+    counters as a fresh :class:`~repro.popt.arch.PoptCounters`.
+    """
+    config = req.config
+    policy = req.policy
+    filt = req.filt
+    num_sets = config.num_sets
+    num_ways = config.num_ways
+    tie = policy._tie_break
+    rmax = tie.rrpv_max
+    insert_long = rmax - 1
+    trickle = BRRIP.TRICKLE
+    psel_max = tie.psel_max
+    psel_half = psel_max // 2
+    leader = _drrip_leader_roles(num_sets, tie.leader_period)
+    prefer_streaming = policy.prefer_streaming_victims
+    regions = policy._regions
+    matrices = [matrix for _, _, matrix in regions]
+    sid_arr, off_arr = filt.stream_membership(_region_bounds(policy))
+    n = len(sid_arr)
+
+    verts_arr = np.asarray(filt.vertices, dtype=np.int64)
+    epochs = verts_arr // policy._epoch_size
+    transitions = (
+        int(np.count_nonzero(epochs[1:] != epochs[:-1])) if n else 0
+    )
+    column_bytes = sum(matrix.column_bytes() for matrix in matrices)
+
+    hits = misses = evictions = writebacks = 0
+    replacements = streaming_evictions = rm_lookups = 0
+    ties = tie_candidates = 0
+
+    clib = ckernels.lib()
+    if clib is not None:
+        # Flatten every stream's RM into one int64 array; each access
+        # carries the flat base index of its line's row (-1 = streaming)
+        # and a 7-slot parameter block per stream drives the decode.
+        sparams = np.zeros(7 * len(regions), dtype=np.int64)
+        entry_parts = [
+            np.ascontiguousarray(m.entries, dtype=np.int64).ravel()
+            for m in matrices
+        ]
+        entry_bases = [0] * len(entry_parts)
+        for index in range(1, len(entry_parts)):
+            entry_bases[index] = (
+                entry_bases[index - 1] + entry_parts[index - 1].size
+            )
+        row_base = np.full(n, -1, dtype=np.int64)
+        for index, matrix in enumerate(matrices):
+            sparams[7 * index:7 * index + 7] = (
+                _RM_VARIANT_CODES[matrix.variant],
+                matrix._msb,
+                matrix._low_mask,
+                matrix._next_bit,
+                matrix.epoch_size,
+                matrix.sub_epoch_size,
+                matrix.num_epochs,
+            )
+            match = sid_arr == index
+            row_base[match] = (
+                entry_bases[index] + off_arr[match] * matrix.num_epochs
+            )
+        entries_flat = np.concatenate(entry_parts)
+        lines_arr = np.ascontiguousarray(filt.lines, dtype=np.int64)
+        writes_arr = np.ascontiguousarray(filt.writes, dtype=np.uint8)
+        sidx = filt.set_index_array(config)
+        verts_c = np.ascontiguousarray(verts_arr)
+        sid_c = np.ascontiguousarray(sid_arr)
+        draws = _fill_draws(tie._seed, n)
+        leader_arr = np.asarray(leader, dtype=np.int64)
+        out = np.zeros(4, dtype=np.int64)
+        cnt = np.zeros(5, dtype=np.int64)
+        clib.k_popt(
+            _i64(lines_arr), _u8(writes_arr), _i64(verts_c), _i64(sidx),
+            _i64(sid_c), _i64(row_base), n, num_sets, num_ways,
+            _i64(sparams), _i64(entries_flat),
+            1 if prefer_streaming else 0,
+            rmax, trickle, psel_max, _i64(leader_arr), _f64(draws),
+            _i64(out), _i64(cnt),
+        )
+        hits, misses, evictions, writebacks = out.tolist()
+        (replacements, streaming_evictions, rm_lookups,
+         ties, tie_candidates) = cnt.tolist()
+    else:
+        lines, _, writes, _, _ = filt.as_lists()
+        sidx = filt.set_index_list(config)
+        verts = verts_arr.tolist()
+        sid = sid_arr.tolist()
+        off = off_arr.tolist()
+        # Per-stream decode parameters + per-access RM row references
+        # (the matrices' cached Python rows), resolved in the preamble.
+        p_variant = [_RM_VARIANT_CODES[m.variant] for m in matrices]
+        p_msb = [m._msb for m in matrices]
+        p_low = [m._low_mask for m in matrices]
+        p_next = [m._next_bit for m in matrices]
+        p_esize = [m.epoch_size for m in matrices]
+        p_ssize = [m.sub_epoch_size for m in matrices]
+        p_nepochs = [m.num_epochs for m in matrices]
+        stream_rows = [m._rows for m in matrices]
+        acc_rows = [
+            stream_rows[s][o] if s >= 0 else None
+            for s, o in zip(sid, off)
+        ]
+        draw = random.Random(tie._seed).random
+        psel = psel_half
+        where: List[Dict[int, int]] = [{} for _ in range(num_sets)]
+        resident = [[INVALID_TAG] * num_ways for _ in range(num_sets)]
+        rrpv = [[rmax] * num_ways for _ in range(num_sets)]
+        dirty = [[False] * num_ways for _ in range(num_sets)]
+        way_sid = [[-1] * num_ways for _ in range(num_sets)]
+        way_row: List[List[object]] = [
+            [None] * num_ways for _ in range(num_sets)
+        ]
+        filled = [0] * num_sets
+        wref = [0] * num_ways
+        for k in range(len(lines)):
+            line = lines[k]
+            s = sidx[k]
+            where_s = where[s]
+            way = where_s.get(line)
+            if way is not None:
+                hits += 1
+                if writes[k]:
+                    dirty[s][way] = True
+                rrpv[s][way] = 0
+            else:
+                misses += 1
+                rrpv_s = rrpv[s]
+                if filled[s] < num_ways:
+                    way = filled[s]
+                    filled[s] = way + 1
+                else:
+                    replacements += 1
+                    vertex = verts[k]
+                    sid_s = way_sid[s]
+                    row_s = way_row[s]
+                    victim = -1
+                    best_ref = -1
+                    for w in range(num_ways):
+                        sw = sid_s[w]
+                        if sw < 0:
+                            if prefer_streaming:
+                                # First streaming way wins outright.
+                                streaming_evictions += 1
+                                victim = w
+                                break
+                            ref = _POPT_STREAMING_REF
+                        else:
+                            rm_lookups += 1
+                            # Algorithm 2, inlined (same branch order
+                            # as RereferenceMatrix.find_next_ref).
+                            esize = p_esize[sw]
+                            epoch = vertex // esize
+                            low = p_low[sw]
+                            if epoch >= p_nepochs[sw]:
+                                ref = low
+                            else:
+                                row = row_s[w]
+                                current = row[epoch]
+                                variant = p_variant[sw]
+                                if variant == 0:
+                                    ref = current
+                                elif current & p_msb[sw]:
+                                    ref = current & low
+                                else:
+                                    last_sub = current & low
+                                    curr_sub = (
+                                        (vertex - epoch * esize)
+                                        // p_ssize[sw]
+                                    )
+                                    if curr_sub <= last_sub:
+                                        ref = 0
+                                    elif variant == 2:
+                                        ref = (
+                                            1 if current & p_next[sw] else 2
+                                        )
+                                    elif epoch + 1 >= p_nepochs[sw]:
+                                        ref = low
+                                    else:
+                                        nxt = row[epoch + 1]
+                                        if nxt & p_msb[sw]:
+                                            ref = 1 + (nxt & low)
+                                        else:
+                                            ref = 1
+                        wref[w] = ref
+                        if ref > best_ref:
+                            best_ref = ref
+                    if victim < 0:
+                        tied = 0
+                        for w in range(num_ways):
+                            if wref[w] == best_ref:
+                                tied += 1
+                                if tied == 1:
+                                    victim = w
+                        if tied > 1:
+                            ties += 1
+                            tie_candidates += tied
+                            best_value = -1
+                            for w in range(num_ways):
+                                if (
+                                    wref[w] == best_ref
+                                    and rrpv_s[w] > best_value
+                                ):
+                                    best_value = rrpv_s[w]
+                                    victim = w
+                    way = victim
+                    evictions += 1
+                    if dirty[s][way]:
+                        writebacks += 1
+                    del where_s[resident[s][way]]
+                resident[s][way] = line
+                where_s[line] = way
+                dirty[s][way] = writes[k]
+                way_sid[s][way] = sid[k]
+                way_row[s][way] = acc_rows[k]
+                # DRRIP tie-break fill: feedback -> role -> insertion
+                # (identical to kernel_drrip's miss path).
+                role = leader[s]
+                if role == 1:
+                    if psel < psel_max:
+                        psel += 1
+                    use_brrip = False
+                elif role == 2:
+                    if psel > 0:
+                        psel -= 1
+                    use_brrip = True
+                else:
+                    use_brrip = psel > psel_half
+                if not use_brrip:
+                    rrpv_s[way] = insert_long
+                else:
+                    rrpv_s[way] = (
+                        insert_long if draw() < trickle else rmax
+                    )
+    policy.counters = PoptCounters(
+        replacements=replacements,
+        streaming_evictions=streaming_evictions,
+        rm_lookups=rm_lookups,
+        ties=ties,
+        tie_candidates=tie_candidates,
+        epoch_transitions=transitions,
+        bytes_streamed=transitions * column_bytes,
+    )
+    return _finish(config, hits, misses, evictions, writebacks)
+
+
+# ----------------------------------------------------------------------
 # Dispatch
 # ----------------------------------------------------------------------
 
@@ -812,6 +1243,8 @@ KERNEL_TABLE: Dict[str, Callable[[KernelRequest], CacheStats]] = {
     "brrip": kernel_brrip,
     "drrip": kernel_drrip,
     "opt": kernel_opt,
+    "t-opt": kernel_topt,
+    "p-opt": kernel_popt,
 }
 
 

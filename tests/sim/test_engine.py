@@ -416,6 +416,152 @@ class TestKernelEquivalence:
         assert_results_match(fast, ref)
 
 
+@pytest.fixture(scope="module")
+def small_prepared():
+    return prepare_run(PageRank(), uniform_random(128, avg_degree=4.0, seed=3))
+
+
+class TestPoptKernelEquivalence:
+    """The next-ref kernels (T-OPT, P-OPT) are bit-identical to the
+    generic and reference paths — in per-level stats AND the engine-cost
+    counters the timing model and Fig. 15 consume — in both compiled and
+    pure-Python form, across odd geometries and way reservation."""
+
+    @pytest.mark.parametrize("policy", POPT_POLICIES)
+    def test_three_engines_agree_with_counters(
+        self, prepared, hierarchy, policy
+    ):
+        fast = simulate_prepared(prepared, policy, hierarchy, engine="fast")
+        generic = simulate_prepared(
+            prepared, policy, hierarchy, engine="generic"
+        )
+        ref = simulate_prepared(
+            prepared, policy, hierarchy, engine="reference"
+        )
+        assert_results_match(fast, generic)
+        assert_results_match(fast, ref)
+        assert fast.details["engine"]["kernel"] is not None
+        assert generic.details["engine"]["kernel"] is None
+        assert fast.popt_counters == generic.popt_counters
+        assert fast.popt_counters == ref.popt_counters
+
+    @pytest.mark.parametrize("policy", POPT_POLICIES)
+    def test_pure_python_matches_compiled(
+        self, prepared, hierarchy, policy, monkeypatch
+    ):
+        compiled = simulate_prepared(
+            prepared, policy, hierarchy, engine="fast"
+        )
+        monkeypatch.setenv("REPRO_PURE_KERNELS", "1")
+        pure = simulate_prepared(prepared, policy, hierarchy, engine="fast")
+        assert pure.details["engine"]["kernel"] is not None
+        assert_results_match(pure, compiled)
+        assert pure.popt_counters == compiled.popt_counters
+
+    def test_topt_counters_across_engines(self, prepared, hierarchy):
+        # T-OPT's walk-cost counters live on the policy instance
+        # (SimResult only carries P-OPT's), so compare via the engine API.
+        from repro.popt.topt import TOPT
+
+        engine = ReplayEngine(prepared, hierarchy)
+        runs = {}
+        for use_kernel in (True, False):
+            policy = TOPT(
+                prepared.irregular_streams, line_size=hierarchy.line_size
+            )
+            run = engine.run(policy, use_kernel=use_kernel)
+            runs[use_kernel] = (
+                run, policy.replacements, policy.transpose_walk_elements
+            )
+        fast_run, fast_repl, fast_walk = runs[True]
+        generic_run, generic_repl, generic_walk = runs[False]
+        assert fast_run.kernel == "t-opt"
+        assert generic_run.kernel is None
+        assert fast_run.levels[-1].misses == generic_run.levels[-1].misses
+        assert (fast_repl, fast_walk) == (generic_repl, generic_walk)
+        # choose_victim only runs on full sets, so replacements track
+        # evictions exactly in both paths.
+        assert fast_repl == fast_run.levels[-1].evictions
+
+    def test_popt_non_drrip_tie_break_stays_generic(
+        self, prepared, hierarchy
+    ):
+        from repro.popt.policy import POPT
+        from repro.sim.driver import _build_popt_policy
+
+        policy, _ = _build_popt_policy(
+            prepared, "inter_intra", 8, hierarchy.line_size
+        )
+        assert policy.replay_kernel() == "p-opt"
+        lru_tied = POPT(
+            policy.streams, line_size=hierarchy.line_size, tie_break=LRU()
+        )
+        assert lru_tied.replay_kernel() is None
+        run = ReplayEngine(prepared, hierarchy).run(lru_tied)
+        assert run.kernel is None
+
+    def test_way_reservation_configs(self, prepared, hierarchy):
+        # fig11's effective-LLC sweep points: kernel vs generic under
+        # geometries shrunk by way reservation, down to a single way.
+        from repro.popt.arch import effective_llc
+        from repro.sim.driver import _build_popt_policy
+
+        way_bytes = hierarchy.llc.num_sets * hierarchy.line_size
+        engine = ReplayEngine(prepared, hierarchy)
+        for reserve in (1, 4, hierarchy.llc.num_ways - 1):
+            llc = effective_llc(hierarchy.llc, reserve * way_bytes)
+            assert llc.num_ways == hierarchy.llc.num_ways - reserve
+            outcome = {}
+            for use_kernel in (True, False):
+                policy, _ = _build_popt_policy(
+                    prepared, "inter_intra", 8, hierarchy.line_size
+                )
+                run = engine.run(
+                    policy, llc_config=llc, use_kernel=use_kernel
+                )
+                outcome[use_kernel] = (run, policy.counters)
+            fast_run, fast_counters = outcome[True]
+            generic_run, generic_counters = outcome[False]
+            assert fast_run.kernel == "p-opt"
+            assert generic_run.kernel is None
+            fast_llc = fast_run.levels[-1]
+            generic_llc = generic_run.levels[-1]
+            assert fast_llc.hits == generic_llc.hits
+            assert fast_llc.misses == generic_llc.misses
+            assert fast_llc.evictions == generic_llc.evictions
+            assert fast_llc.writebacks == generic_llc.writebacks
+            assert fast_counters == generic_counters
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        llc_sets=st.sampled_from([1, 3, 8]),   # incl. non-power-of-two
+        llc_ways=st.sampled_from([1, 2, 5]),   # incl. direct-mapped
+        policy=st.sampled_from(list(POPT_POLICIES)),
+    )
+    def test_odd_geometries(self, small_prepared, llc_sets, llc_ways, policy):
+        config = HierarchyConfig(
+            l1=CacheConfig("L1", num_sets=1, num_ways=1),
+            llc=CacheConfig("LLC", num_sets=llc_sets, num_ways=llc_ways),
+        )
+        fast = simulate_prepared(
+            small_prepared, policy, config,
+            engine="fast", account_capacity=False,
+        )
+        generic = simulate_prepared(
+            small_prepared, policy, config,
+            engine="generic", account_capacity=False,
+        )
+        ref = simulate_prepared(
+            small_prepared, policy, config,
+            engine="reference", account_capacity=False,
+        )
+        assert fast.details["engine"]["kernel"] is not None
+        assert_results_match(fast, generic)
+        assert_results_match(fast, ref)
+        assert fast.popt_counters == generic.popt_counters
+        assert fast.popt_counters == ref.popt_counters
+
+
 class TestCompactNextUse:
     """llc_compact_next_use maps the original-coordinate chain onto the
     LLC-visible stream, preserving order (the OPT kernel's invariant)."""
