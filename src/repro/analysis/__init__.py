@@ -13,14 +13,19 @@ cover the broken combination. Rule families:
 - ``determinism``  — unseeded RNGs, wall-clock reads, set-order
 - ``hotpath``      — per-access work creeping back into replay loops
 - ``kernels``      — replay-kernel dispatch coverage and loop hygiene
+- ``abi``          — cross-language kernel ABI and constant parity
+  (``kernels.c`` vs ``ckernels._SIGNATURES`` vs ``kernels.py`` call
+  sites, plus the shared-constants registry and the C dialect rules)
 
 See :mod:`repro.analysis.runner` for the CLI and
-``# simlint: allow[rule]`` pragmas for intentional exceptions.
+``# simlint: allow[rule]`` pragmas for intentional exceptions (the same
+pragma works in C comments for ``kernels.c`` findings; pragmas naming
+unknown rules are themselves flagged).
 """
 
 from .findings import Finding, format_findings
 from .hotpath import DEFAULT_REPLAY_PATH
-from .runner import RULE_FAMILIES, SimlintConfig, main, run_simlint
+from .runner import KNOWN_RULES, RULE_FAMILIES, SimlintConfig, main, run_simlint
 
 __all__ = [
     "Finding",
@@ -29,5 +34,6 @@ __all__ = [
     "SimlintConfig",
     "DEFAULT_REPLAY_PATH",
     "RULE_FAMILIES",
+    "KNOWN_RULES",
     "main",
 ]

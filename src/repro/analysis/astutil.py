@@ -25,8 +25,9 @@ __all__ = [
     "pragma_allows",
 ]
 
-#: ``# simlint: allow[rule-a, rule-b]`` — suppresses the named rules on
-#: this line (or, when the pragma stands alone, on the following line).
+#: A ``simlint: allow`` comment (rule names in square brackets,
+#: comma-separated) suppresses the named rules on its line — or, when
+#: the pragma stands alone, on the following line.
 _PRAGMA = re.compile(r"#\s*simlint:\s*allow\[([^\]]*)\]")
 _PRAGMA_ONLY = re.compile(r"^\s*#\s*simlint:\s*allow\[[^\]]*\]\s*$")
 

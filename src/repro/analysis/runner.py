@@ -9,11 +9,15 @@ to :data:`RULE_SETS`.
 from __future__ import annotations
 
 import argparse
+import io
+import os
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import FrozenSet, List, Optional, Sequence
 
-from .astutil import SourceModule, iter_python_files, load_module
+from .abi import ABI_RULES, check_abi
+from .astutil import _PRAGMA, SourceModule, iter_python_files, load_module
 from .contract import check_policy_contracts
 from .determinism import check_determinism
 from .findings import Finding, format_findings
@@ -21,9 +25,40 @@ from .hotpath import DEFAULT_REPLAY_PATH, check_hot_paths
 from .kernelcov import check_kernels
 from .registry_drift import check_registry
 
-__all__ = ["SimlintConfig", "run_simlint", "main"]
+__all__ = ["SimlintConfig", "run_simlint", "main", "KNOWN_RULES"]
 
-RULE_FAMILIES = ("policy", "determinism", "hotpath", "registry", "kernels")
+RULE_FAMILIES = (
+    "policy", "determinism", "hotpath", "registry", "kernels", "abi",
+)
+
+#: Every rule id a suppression pragma may legally name. Pragmas naming
+#: anything else are flagged (``pragma-unknown``) rather than silently
+#: ignored — a typo in a suppression is a latent re-enabled finding,
+#: which is worse than noise.
+KNOWN_RULES = frozenset(
+    (
+        "parse-error",
+        "pragma-unknown",
+        "policy-init-set-state",
+        "policy-missing-victim",
+        "policy-mutable-class-default",
+        "policy-name-duplicate",
+        "policy-name-missing",
+        "determinism-random",
+        "determinism-set-order",
+        "determinism-time",
+        "hotpath-append",
+        "hotpath-scalar-box",
+        "hotpath-tolist",
+        "registry-construct",
+        "registry-order",
+        "registry-unreachable",
+        "kernel-popt-coverage",
+        "kernel-resolve",
+    )
+    + ABI_RULES
+    + RULE_FAMILIES
+)
 
 
 @dataclass
@@ -51,6 +86,52 @@ def _load_modules(paths: Sequence[Path]) -> tuple:
     return modules, findings
 
 
+def _pragma_comments(source: str):
+    """(line, tokens) per suppression pragma found in a *real* comment.
+
+    Validation goes through :mod:`tokenize` rather than the line map so
+    docstrings and string literals that merely *mention* the pragma
+    syntax (this package documents it a lot) are not validated as
+    pragmas."""
+    try:
+        readline = io.StringIO(source).readline
+        for tok in tokenize.generate_tokens(readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA.search(tok.string)
+            if match is None:
+                continue
+            tokens = frozenset(
+                part.strip()
+                for part in match.group(1).split(",")
+                if part.strip()
+            )
+            if tokens:
+                yield tok.start[0], tokens
+    except tokenize.TokenError:
+        return
+
+
+def _check_pragmas(
+    modules: Sequence[SourceModule], findings: List[Finding]
+) -> None:
+    """Unknown rule tokens in allow-pragmas are findings, not no-ops."""
+    for module in modules:
+        for line, tokens in _pragma_comments(module.source):
+            if "pragma-unknown" in tokens:
+                continue
+            for token in sorted(tokens):
+                if token in KNOWN_RULES or token == "*":
+                    continue
+                findings.append(Finding(
+                    rule="pragma-unknown",
+                    path=module.display_path,
+                    line=line,
+                    message=f"allow-pragma names unknown rule "
+                            f"{token!r}",
+                ))
+
+
 def run_simlint(
     paths: Sequence[Path],
     config: Optional[SimlintConfig] = None,
@@ -59,6 +140,7 @@ def run_simlint(
     config = config if config is not None else SimlintConfig()
     modules, findings = _load_modules([Path(p) for p in paths])
     families = set(config.families)
+    _check_pragmas(modules, findings)
     if "policy" in families:
         findings.extend(check_policy_contracts(modules))
     if "determinism" in families:
@@ -69,6 +151,8 @@ def run_simlint(
         findings.extend(check_registry(modules))
     if "kernels" in families:
         findings.extend(check_kernels(modules))
+    if "abi" in families:
+        findings.extend(check_abi(modules, set(KNOWN_RULES)))
     # Overlapping scope walks may observe one site twice.
     return sorted(set(findings), key=lambda f: (f.path, f.line, f.rule))
 
@@ -78,12 +162,33 @@ def _default_target() -> Path:
     return Path(__file__).resolve().parents[1]
 
 
+def _ckernels_status() -> str:
+    """One-line compiled-kernel availability report.
+
+    The ``abi`` rules prove the three ABI layers agree *statically*;
+    this line reports whether the compiled path actually engages at
+    runtime — and if not, why (the recorded compiler diagnostic), so a
+    broken toolchain is never a silent pure-Python fallback.
+    """
+    from ..sim import ckernels
+
+    if os.environ.get(ckernels.PURE_ENV):
+        return (
+            f"ckernels: pure-Python kernels forced "
+            f"({ckernels.PURE_ENV} set)"
+        )
+    if ckernels.available():
+        return "ckernels: compiled kernels available"
+    reason = ckernels.build_error() or "unknown failure"
+    return f"ckernels: compiled kernels UNAVAILABLE ({reason})"
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="simlint: simulator-specific static analysis "
                     "(policy contracts, registry drift, determinism, "
-                    "hot-path hygiene)",
+                    "hot-path hygiene, cross-language kernel ABI)",
     )
     parser.add_argument(
         "paths", nargs="*", type=Path,
@@ -94,6 +199,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="FAMILY",
         help="disable a rule family (repeatable); families: "
              + ", ".join(RULE_FAMILIES),
+    )
+    parser.add_argument(
+        "--disable", action="append", dest="skip", default=[],
+        choices=RULE_FAMILIES, metavar="FAMILY",
+        help="alias for --skip",
     )
     parser.add_argument(
         "--quiet", action="store_true",
@@ -107,6 +217,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if findings:
         print(format_findings(findings))
         print(f"simlint: {len(findings)} finding(s)")
+        if "abi" in families:
+            print(_ckernels_status())
         return 1
     if not args.quiet:
         scanned = len(iter_python_files([Path(p) for p in paths]))
@@ -114,4 +226,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"simlint: OK ({scanned} files, "
             f"families: {', '.join(families)})"
         )
+        if "abi" in families:
+            print(_ckernels_status())
     return 0

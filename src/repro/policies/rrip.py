@@ -17,6 +17,12 @@ from __future__ import annotations
 
 import random
 
+from ..sim.constants import (
+    BRRIP_TRICKLE,
+    DEFAULT_PSEL_BITS,
+    DEFAULT_RRPV_BITS,
+    saturating_max,
+)
 from .base import ReplacementPolicy
 
 __all__ = ["SRRIP", "BRRIP", "DRRIP"]
@@ -25,10 +31,10 @@ __all__ = ["SRRIP", "BRRIP", "DRRIP"]
 class _RRIPBase(ReplacementPolicy):
     """Shared RRPV storage and victim scan."""
 
-    def __init__(self, rrpv_bits: int = 2) -> None:
+    def __init__(self, rrpv_bits: int = DEFAULT_RRPV_BITS) -> None:
         super().__init__()
         self.rrpv_bits = rrpv_bits
-        self.rrpv_max = (1 << rrpv_bits) - 1
+        self.rrpv_max = saturating_max(rrpv_bits)
 
     def reset(self) -> None:
         self._rrpv = [
@@ -74,9 +80,11 @@ class BRRIP(_RRIPBase):
     name = "BRRIP"
 
     #: Probability of the "long" (rather than "distant") insertion.
-    TRICKLE = 1.0 / 32.0
+    TRICKLE = BRRIP_TRICKLE
 
-    def __init__(self, rrpv_bits: int = 2, seed: int = 0) -> None:
+    def __init__(
+        self, rrpv_bits: int = DEFAULT_RRPV_BITS, seed: int = 0
+    ) -> None:
         super().__init__(rrpv_bits)
         self._seed = seed
 
@@ -97,13 +105,13 @@ class DRRIP(_RRIPBase):
 
     def __init__(
         self,
-        rrpv_bits: int = 2,
-        psel_bits: int = 10,
+        rrpv_bits: int = DEFAULT_RRPV_BITS,
+        psel_bits: int = DEFAULT_PSEL_BITS,
         leader_period: int = 32,
         seed: int = 0,
     ) -> None:
         super().__init__(rrpv_bits)
-        self.psel_max = (1 << psel_bits) - 1
+        self.psel_max = saturating_max(psel_bits)
         self.leader_period = leader_period
         self._seed = seed
 

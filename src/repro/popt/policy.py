@@ -30,6 +30,7 @@ from ..errors import PolicyError
 from ..memory.layout import ArraySpan
 from ..policies.base import ReplacementPolicy
 from ..policies.rrip import DRRIP
+from ..sim.constants import POPT_STREAMING_NEXT_REF
 from .arch import PoptCounters
 from .rereference import RereferenceMatrix
 
@@ -210,7 +211,7 @@ class POPT(ReplacementPolicy):
                     # First streaming way is reported immediately.
                     self.counters.streaming_evictions += 1
                     return way
-                next_ref = 1 << 30
+                next_ref = POPT_STREAMING_NEXT_REF
             if next_ref > best_ref:
                 best_ref = next_ref
                 best_ways = [way]

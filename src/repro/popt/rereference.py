@@ -32,6 +32,14 @@ import numpy as np
 
 from ..errors import PolicyError
 from ..graph.csr import CSRGraph
+from ..sim.constants import (
+    RM_VARIANTS,
+    rm_field_bits,
+    rm_low_mask,
+    rm_msb,
+    rm_next_bit,
+    rm_sentinel,
+)
 
 __all__ = [
     "RereferenceMatrix",
@@ -39,7 +47,7 @@ __all__ = [
     "epoch_geometry",
 ]
 
-VARIANTS = ("inter_only", "inter_intra", "single_epoch")
+VARIANTS = RM_VARIANTS
 
 
 def epoch_geometry(
@@ -59,8 +67,11 @@ def epoch_geometry(
     max_epochs = 1 << entry_bits
     epoch_size = max(1, -(-num_vertices // max_epochs))  # ceil division
     num_epochs = -(-num_vertices // epoch_size)
-    field_bits = entry_bits - (2 if variant == "single_epoch" else 1)
-    max_sub = max(1, (1 << field_bits) - 1)
+    # inter_only stores no sub-epoch field (every bit is the distance,
+    # see rm_field_bits) but shares the default design's sub-epoch
+    # geometry so all three builders quantize vertices identically.
+    geometry_variant = "inter_intra" if variant == "inter_only" else variant
+    max_sub = max(1, (1 << rm_field_bits(entry_bits, geometry_variant)) - 1)
     sub_epoch_size = max(1, -(-epoch_size // max_sub))
     return num_epochs, epoch_size, sub_epoch_size
 
@@ -80,22 +91,14 @@ class RereferenceMatrix:
     def __post_init__(self) -> None:
         if self.variant not in VARIANTS:
             raise PolicyError(f"unknown variant {self.variant!r}")
-        self._msb = 1 << (self.entry_bits - 1)
         # The decode masks must mirror the builder's field_bits exactly:
-        # inter_only spends ALL entry bits on the distance (sentinel 2^b-1),
-        # inter_intra loses one to the MSB flag, single_epoch loses two
-        # (MSB flag + next-epoch bit). A mask narrower than the stored
-        # sentinel would make past-the-end epochs look *nearer* than
-        # known-far in-matrix lines.
-        if self.variant == "single_epoch":
-            self._next_bit = 1 << (self.entry_bits - 2)
-            self._low_mask = self._next_bit - 1
-        elif self.variant == "inter_only":
-            self._next_bit = 0
-            self._low_mask = (1 << self.entry_bits) - 1
-        else:
-            self._next_bit = 0
-            self._low_mask = self._msb - 1
+        # a mask narrower than the stored sentinel would make past-the-end
+        # epochs look *nearer* than known-far in-matrix lines. The shared
+        # registry (repro.sim.constants) is the single source of truth for
+        # the per-variant widths, here and in both kernel engines.
+        self._msb = rm_msb(self.entry_bits)
+        self._next_bit = rm_next_bit(self.entry_bits, self.variant)
+        self._low_mask = rm_low_mask(self.entry_bits, self.variant)
         # Python nested lists beat numpy scalar extraction in the hot path,
         # but converting huge matrices (fine-grained quantization on big
         # graphs) would explode memory — fall back to numpy rows there.
@@ -256,13 +259,7 @@ def build_rereference_matrix(
 
     # Distance (in epochs) from each epoch to the next referencing epoch.
     # Scan columns right-to-left carrying the next referencing epoch.
-    if variant == "single_epoch":
-        field_bits = entry_bits - 2
-    elif variant == "inter_only":
-        field_bits = entry_bits
-    else:
-        field_bits = entry_bits - 1
-    sentinel = (1 << field_bits) - 1
+    sentinel = rm_sentinel(entry_bits, variant)
     next_epoch = np.full(num_lines, np.iinfo(np.int64).max // 2, np.int64)
     distance = np.empty((num_lines, num_epochs), dtype=np.int64)
     for epoch in range(num_epochs - 1, -1, -1):
@@ -276,7 +273,7 @@ def build_rereference_matrix(
         # Entry is the raw distance (0 while the epoch still references).
         entries[:] = np.minimum(distance, sentinel)
     else:
-        msb = 1 << (entry_bits - 1)
+        msb = rm_msb(entry_bits)
         max_sub = sentinel
         clamped_sub = np.minimum(last_sub, max_sub)
         # Referenced epochs: MSB=0, low bits = final-access sub-epoch.
@@ -284,7 +281,7 @@ def build_rereference_matrix(
         inter = msb | np.minimum(distance, sentinel)
         entries[:] = np.where(referenced, clamped_sub, inter)
         if variant == "single_epoch":
-            next_bit = 1 << (entry_bits - 2)
+            next_bit = rm_next_bit(entry_bits, variant)
             accessed_next = np.zeros((num_lines, num_epochs), dtype=bool)
             accessed_next[:, :-1] = referenced[:, 1:]
             entries[:] = np.where(

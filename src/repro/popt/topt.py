@@ -28,6 +28,7 @@ from ..errors import PolicyError
 from ..graph.csr import CSRGraph
 from ..memory.layout import ArraySpan
 from ..policies.base import ReplacementPolicy
+from ..sim.constants import TOPT_NEVER, TOPT_STREAMING
 
 __all__ = [
     "IrregularStream",
@@ -37,10 +38,10 @@ __all__ = [
 ]
 
 #: Next-ref value assigned to lines never referenced again.
-NEVER = 1 << 40
+NEVER = TOPT_NEVER
 #: Next-ref value for streaming (non-irregular) lines: beyond NEVER so the
 #: first streaming way always wins the eviction search.
-STREAMING = 1 << 41
+STREAMING = TOPT_STREAMING
 
 
 @dataclass(frozen=True)

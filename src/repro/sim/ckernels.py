@@ -4,12 +4,23 @@ The compiled kernels are an *optional* acceleration: the pure-Python
 kernels in :mod:`repro.sim.kernels` are the executable specification,
 and every call site falls back to them transparently when this module
 reports the library unavailable. Availability requires only a system C
-compiler (``cc``/``gcc``/``clang``) — the shared object is built on
-first use with a plain ``cc -O2 -shared`` invocation, cached under
-``build/ckernels/`` keyed by a hash of the C source (so edits rebuild
-automatically, and concurrent workers racing the build land on the same
-file via an atomic rename), and loaded with :mod:`ctypes`. No
-third-party packaging or FFI dependency is involved.
+compiler (``cc``/``gcc``/``clang``, override with ``REPRO_CC``) — the
+shared object is built on first use with a plain ``cc -O2 -shared``
+invocation, cached under ``build/ckernels/`` keyed by a hash of the C
+source (so edits rebuild automatically, and concurrent workers racing
+the build land on the same file via an atomic rename), and loaded with
+:mod:`ctypes`. No third-party packaging or FFI dependency is involved.
+
+A failed build is *not* silent: the compiler diagnostic is kept in
+:func:`build_error`, surfaced once as a ``RuntimeWarning``, and
+reported by ``python -m repro.analysis`` alongside the lint summary —
+the pure-Python fallback still engages, but never invisibly.
+
+The ``_SIGNATURES`` table below is one half of the cross-language ABI;
+simlint's ``abi`` rule family parses ``kernels.c`` and cross-checks
+every entry argument-by-argument against the C prototypes and the
+``lib().k_*`` call sites in ``kernels.py``, so the three layers cannot
+drift apart without a lint error.
 
 Set ``REPRO_PURE_KERNELS=1`` to force the pure-Python kernels — the
 equivalence suite uses this to compare compiled vs. pure output, and
@@ -24,20 +35,36 @@ import os
 import shutil
 import subprocess
 import tempfile
+import warnings
 from pathlib import Path
-from typing import Optional
+from typing import Any, Dict, List, Optional, Union
 
-__all__ = ["lib", "available", "build_dir", "PURE_ENV"]
+__all__ = [
+    "lib",
+    "available",
+    "build_dir",
+    "build_error",
+    "reset",
+    "PURE_ENV",
+    "CC_ENV",
+]
 
 #: Environment variable forcing the pure-Python kernel paths.
 PURE_ENV = "REPRO_PURE_KERNELS"
+
+#: Environment variable overriding the compiler executable.
+CC_ENV = "REPRO_CC"
 
 _SOURCE = Path(__file__).with_name("kernels.c")
 
 #: Tri-state cache: None = not tried yet, False = tried and unavailable,
 #: ctypes.CDLL = loaded. The PURE_ENV override is intentionally *not*
 #: cached so tests can flip it per-case.
-_LIB: object = None
+_LIB: Union[None, bool, ctypes.CDLL] = None
+
+#: Human-readable reason the last build/load attempt failed (compiler
+#: diagnostic, missing toolchain, dlopen error), or None.
+_BUILD_ERROR: Optional[str] = None
 
 _I64P = ctypes.POINTER(ctypes.c_longlong)
 _U8P = ctypes.POINTER(ctypes.c_ubyte)
@@ -45,22 +72,23 @@ _F64P = ctypes.POINTER(ctypes.c_double)
 _I64 = ctypes.c_longlong
 _F64 = ctypes.c_double
 
-_SIGNATURES = {
-    "k_lru": [_I64P, _U8P, _I64P, _I64, _I64, _I64P],
-    "k_lip": [_I64P, _U8P, _I64P, _I64, _I64, _I64P],
-    "k_bit_plru": [_I64P, _U8P, _I64P, _I64, _I64, _I64P],
-    "k_bit_plru_mask": [_I64P, _U8P, _I64P, _I64, _I64, _U8P, _I64P],
-    "k_srrip": [_I64P, _U8P, _I64P, _I64, _I64, _I64, _I64P],
-    "k_opt": [_I64P, _U8P, _I64P, _I64P, _I64, _I64, _I64P],
+_SIGNATURES: Dict[str, List[Any]] = {
+    "k_lru": [_I64P, _U8P, _I64P, _I64, _I64, _I64P, _I64P],
+    "k_lip": [_I64P, _U8P, _I64P, _I64, _I64, _I64P, _I64P],
+    "k_bit_plru": [_I64P, _U8P, _I64P, _I64, _I64, _I64P, _I64P],
+    "k_bit_plru_mask": [_I64P, _U8P, _I64P, _I64, _I64, _U8P, _I64P,
+                        _I64P],
+    "k_srrip": [_I64P, _U8P, _I64P, _I64, _I64, _I64, _I64P, _I64P],
+    "k_opt": [_I64P, _U8P, _I64P, _I64P, _I64, _I64, _I64P, _I64P],
     "k_brrip": [_I64P, _U8P, _I64P, _I64, _I64, _I64, _I64, _F64,
-                _F64P, _I64P],
+                _F64P, _I64P, _I64P],
     "k_drrip": [_I64P, _U8P, _I64P, _I64, _I64, _I64, _I64, _F64,
-                _I64, _I64, _I64P, _F64P, _I64P],
+                _I64, _I64, _I64P, _F64P, _I64P, _I64P],
     "k_topt": [_I64P, _U8P, _I64P, _I64P, _I64P, _I64P, _I64P, _I64,
-               _I64, _I64P, _I64P],
+               _I64, _I64P, _I64P, _I64P],
     "k_popt": [_I64P, _U8P, _I64P, _I64P, _I64P, _I64P, _I64, _I64,
                _I64, _I64P, _I64P, _I64, _I64, _F64, _I64, _I64P,
-               _F64P, _I64P, _I64P],
+               _F64P, _I64P, _I64P, _I64P],
 }
 
 
@@ -74,6 +102,9 @@ def build_dir() -> Path:
 
 
 def _compiler() -> Optional[str]:
+    override = os.environ.get(CC_ENV)
+    if override:
+        return override
     for name in ("cc", "gcc", "clang"):
         path = shutil.which(name)
         if path:
@@ -81,9 +112,30 @@ def _compiler() -> Optional[str]:
     return None
 
 
+def _record_failure(reason: str) -> None:
+    """Remember *why* the compiled path is unavailable and say so once.
+
+    The pure-Python fallback still engages — the kernels are optional —
+    but a toolchain that exists and fails is a real diagnostic the user
+    (and CI) should see, not a silent 20-75x slowdown.
+    """
+    global _BUILD_ERROR
+    _BUILD_ERROR = reason
+    warnings.warn(
+        f"compiled replay kernels unavailable, falling back to "
+        f"pure-Python kernels: {reason}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def _build() -> Optional[ctypes.CDLL]:
     cc = _compiler()
     if cc is None:
+        # Missing toolchain is the expected no-compiler configuration:
+        # recorded for `repro.analysis` reporting, but not warned about.
+        global _BUILD_ERROR
+        _BUILD_ERROR = "no C compiler found (cc/gcc/clang)"
         return None
     source = _SOURCE.read_bytes()
     digest = hashlib.sha256(source).hexdigest()[:16]
@@ -100,7 +152,19 @@ def _build() -> Optional[ctypes.CDLL]:
                 capture_output=True,
             )
             os.replace(tmp, so_path)  # atomic: racing workers converge
-        except (subprocess.CalledProcessError, OSError):
+        except subprocess.CalledProcessError as exc:
+            stderr = (exc.stderr or b"").decode("utf-8", "replace").strip()
+            detail = stderr.splitlines()[0] if stderr else "(no stderr)"
+            _record_failure(
+                f"{cc} exited with status {exc.returncode}: {detail}"
+            )
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return None
+        except OSError as exc:
+            _record_failure(f"could not run {cc}: {exc}")
             try:
                 os.unlink(tmp)
             except OSError:
@@ -108,7 +172,8 @@ def _build() -> Optional[ctypes.CDLL]:
             return None
     try:
         cdll = ctypes.CDLL(str(so_path))
-    except OSError:
+    except OSError as exc:
+        _record_failure(f"could not load {so_path.name}: {exc}")
         return None
     for name, argtypes in _SIGNATURES.items():
         fn = getattr(cdll, name)
@@ -130,9 +195,30 @@ def lib() -> Optional[ctypes.CDLL]:
     if _LIB is None:
         built = _build()
         _LIB = built if built is not None else False
-    return _LIB if _LIB is not False else None
+    return _LIB if isinstance(_LIB, ctypes.CDLL) else None
 
 
 def available() -> bool:
     """Whether the compiled fast path would be used right now."""
     return lib() is not None
+
+
+def build_error() -> Optional[str]:
+    """Why the compiled kernels are unavailable, or None.
+
+    Populated by the first failed :func:`lib` attempt (compiler exit
+    status + first stderr line, missing toolchain, or dlopen failure);
+    stays None while the compiled path works or was never tried.
+    """
+    return _BUILD_ERROR
+
+
+def reset() -> None:
+    """Forget the memoized build outcome (test hook).
+
+    The next :func:`lib` call re-runs discovery/compilation; cached
+    ``.so`` files under :func:`build_dir` are left in place.
+    """
+    global _LIB, _BUILD_ERROR
+    _LIB = None
+    _BUILD_ERROR = None

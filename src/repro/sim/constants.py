@@ -1,0 +1,181 @@
+"""Shared bit-layout and policy constants (the cross-language registry).
+
+Algorithm 2's entry encodings (Fig. 5/6), the next-ref sentinels, and
+the RRIP insertion parameters exist in *three* places: the reference
+policies (``repro.popt``, ``repro.policies``), the pure-Python replay
+kernels (``repro.sim.kernels``), and the compiled transliterations
+(``kernels.c``). PR 4 caught one fork at runtime (a fixed 7-bit
+``inter_only`` sentinel mask applied to 8-bit raw entries); this module
+is the fix-forever: every Python site imports its numbers from here, and
+``kernels.c`` names the same numbers as ``#define`` constants that
+simlint's ``abi-constant`` rule cross-checks against :data:`C_PARITY`
+— so the literals cannot silently fork again.
+
+Nothing here imports anything from the package (no cycles): it is a
+leaf module of plain integers, tuples, and arithmetic helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = [
+    "saturating_max",
+    "DEFAULT_RRPV_BITS",
+    "DEFAULT_PSEL_BITS",
+    "BRRIP_TRICKLE",
+    "RM_VARIANTS",
+    "RM_VARIANT_CODES",
+    "RM_VARIANT_INTER_ONLY",
+    "RM_VARIANT_INTER_INTRA",
+    "RM_VARIANT_SINGLE_EPOCH",
+    "rm_field_bits",
+    "rm_msb",
+    "rm_next_bit",
+    "rm_low_mask",
+    "rm_sentinel",
+    "TOPT_NEVER",
+    "TOPT_STREAMING",
+    "POPT_STREAMING_NEXT_REF",
+    "POPT_SPARAM_LAYOUT",
+    "POPT_SPARAM_SLOTS",
+    "C_PARITY",
+]
+
+
+# ----------------------------------------------------------------------
+# RRIP family (SRRIP / BRRIP / DRRIP and P-OPT's tie-break)
+# ----------------------------------------------------------------------
+
+#: Default RRPV width (2-bit RRIP, the paper's Table I baseline).
+DEFAULT_RRPV_BITS = 2
+
+#: Default set-dueling PSEL width (DRRIP).
+DEFAULT_PSEL_BITS = 10
+
+#: BRRIP's epsilon: probability that a fill inserts at the "long"
+#: interval (``max - 1``) instead of the "distant" interval (``max``).
+BRRIP_TRICKLE = 1.0 / 32.0
+
+
+def saturating_max(bits: int) -> int:
+    """Maximum value of a ``bits``-wide saturating counter (RRPV, PSEL)."""
+    return (1 << bits) - 1
+
+
+# ----------------------------------------------------------------------
+# Rereference Matrix entry encodings (Fig. 5/6, Section IV)
+# ----------------------------------------------------------------------
+
+#: The three entry encodings, in variant-code order.
+RM_VARIANTS: Tuple[str, str, str] = (
+    "inter_only", "inter_intra", "single_epoch"
+)
+
+#: Integer codes the kernels (Python and C) use for the variants.
+RM_VARIANT_INTER_ONLY = 0
+RM_VARIANT_INTER_INTRA = 1
+RM_VARIANT_SINGLE_EPOCH = 2
+
+RM_VARIANT_CODES: Dict[str, int] = {
+    "inter_only": RM_VARIANT_INTER_ONLY,
+    "inter_intra": RM_VARIANT_INTER_INTRA,
+    "single_epoch": RM_VARIANT_SINGLE_EPOCH,
+}
+
+
+def rm_field_bits(entry_bits: int, variant: str) -> int:
+    """Bits of a ``variant`` entry that hold the distance / sub-epoch
+    field: ``inter_only`` spends every bit on the distance,
+    ``inter_intra`` loses one to the MSB flag, ``single_epoch`` loses
+    two (MSB flag + next-epoch bit)."""
+    if variant == "single_epoch":
+        return entry_bits - 2
+    if variant == "inter_only":
+        return entry_bits
+    return entry_bits - 1
+
+
+def rm_msb(entry_bits: int) -> int:
+    """The MSB flag of an entry (set = "not referenced this epoch")."""
+    return 1 << (entry_bits - 1)
+
+
+def rm_next_bit(entry_bits: int, variant: str) -> int:
+    """``single_epoch``'s referenced-next-epoch bit (0 elsewhere)."""
+    if variant == "single_epoch":
+        return 1 << (entry_bits - 2)
+    return 0
+
+
+def rm_low_mask(entry_bits: int, variant: str) -> int:
+    """Mask selecting the distance / sub-epoch field of an entry."""
+    return (1 << rm_field_bits(entry_bits, variant)) - 1
+
+
+def rm_sentinel(entry_bits: int, variant: str) -> int:
+    """All-field-bits-set: "no known reference" / past-the-end epochs.
+
+    This equals :func:`rm_low_mask` *by construction* — the PR 4 bug was
+    exactly a decode mask narrower than the stored sentinel, which made
+    past-the-end epochs look nearer than known-far in-matrix lines.
+    """
+    return rm_low_mask(entry_bits, variant)
+
+
+# ----------------------------------------------------------------------
+# Next-ref sentinels (T-OPT / P-OPT victim search)
+# ----------------------------------------------------------------------
+
+#: T-OPT next-ref for lines never referenced again (beyond any vertex id).
+TOPT_NEVER = 1 << 40
+
+#: T-OPT next-ref for streaming (non-irregular) lines: beyond
+#: :data:`TOPT_NEVER` so the first streaming way always wins.
+TOPT_STREAMING = 1 << 41
+
+#: P-OPT's rank for streaming ways when ``prefer_streaming_victims`` is
+#: off: beyond any Algorithm 2 distance (a 16-bit entry's sentinel is
+#: 2^16 - 1) but below nothing else — matches ``POPT.choose_victim``.
+POPT_STREAMING_NEXT_REF = 1 << 30
+
+#: Layout of the per-stream parameter block ``k_popt`` decodes with
+#: (one 7-slot block per irregular stream, flattened int64).
+POPT_SPARAM_LAYOUT: Tuple[str, ...] = (
+    "variant",
+    "msb",
+    "low_mask",
+    "next_bit",
+    "epoch_size",
+    "sub_epoch_size",
+    "num_epochs",
+)
+
+POPT_SPARAM_SLOTS = len(POPT_SPARAM_LAYOUT)
+
+
+# ----------------------------------------------------------------------
+# C parity table (simlint ``abi-constant``)
+# ----------------------------------------------------------------------
+
+#: Every ``#define`` in ``kernels.c`` must appear here with the same
+#: value, and every entry here must be ``#define``d there — simlint's
+#: ``abi-constant`` rule enforces both directions, so a fork of any
+#: bit-layout constant across the language boundary is a lint error.
+#: (Float-valued constants like :data:`BRRIP_TRICKLE` are passed to C
+#: as arguments, never re-declared there, so they are not listed.)
+C_PARITY: Dict[str, int] = {
+    "TOPT_NEVER": TOPT_NEVER,
+    "POPT_STREAMING_NEXT_REF": POPT_STREAMING_NEXT_REF,
+    "POPT_SPARAM_SLOTS": POPT_SPARAM_SLOTS,
+    "POPT_SP_VARIANT": POPT_SPARAM_LAYOUT.index("variant"),
+    "POPT_SP_MSB": POPT_SPARAM_LAYOUT.index("msb"),
+    "POPT_SP_LOW_MASK": POPT_SPARAM_LAYOUT.index("low_mask"),
+    "POPT_SP_NEXT_BIT": POPT_SPARAM_LAYOUT.index("next_bit"),
+    "POPT_SP_EPOCH_SIZE": POPT_SPARAM_LAYOUT.index("epoch_size"),
+    "POPT_SP_SUB_EPOCH_SIZE": POPT_SPARAM_LAYOUT.index("sub_epoch_size"),
+    "POPT_SP_NUM_EPOCHS": POPT_SPARAM_LAYOUT.index("num_epochs"),
+    "RM_VARIANT_INTER_ONLY": RM_VARIANT_INTER_ONLY,
+    "RM_VARIANT_INTER_INTRA": RM_VARIANT_INTER_INTRA,
+    "RM_VARIANT_SINGLE_EPOCH": RM_VARIANT_SINGLE_EPOCH,
+}

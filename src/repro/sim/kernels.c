@@ -11,7 +11,18 @@
  * loaded with ctypes; when no compiler is available the Python kernels
  * run instead. No Python API is used here: every argument is a plain
  * C array (int64 lines/counts, uint8 write flags, float64 RNG draws),
- * so the only ABI surface is this header-free signature set.
+ * so the only ABI surface is this header-free signature set — which
+ * simlint's `abi` rule family parses and cross-checks against the
+ * ctypes _SIGNATURES table and the kernels.py call sites.
+ *
+ * Determinism discipline (enforced by simlint `abi-c-hygiene`): no
+ * heap allocation (every kernel's scratch is carved from a caller-
+ * provided int64 workspace `ws` and fully initialized here), no
+ * mutable file-scope state, no library calls beyond arithmetic, and
+ * every loop bound derives from a parameter. Shared numeric constants
+ * are `#define`d below and parity-checked against
+ * repro.sim.constants.C_PARITY (simlint `abi-constant`), so the bit
+ * layouts cannot fork from the Python side.
  *
  * Randomness: BRRIP/DRRIP consume `random.Random` draws in fill order.
  * Reproducing the Mersenne Twister here would couple this file to
@@ -26,11 +37,35 @@
  */
 
 #include <stdint.h>
-#include <stdlib.h>
-#include <string.h>
 
 typedef int64_t i64;
 typedef uint8_t u8;
+
+/* Shared constants — every #define here must match
+ * repro.sim.constants.C_PARITY by name and value (simlint
+ * abi-constant checks both directions). */
+
+/* T-OPT next-ref for lines never referenced again. */
+#define TOPT_NEVER ((i64)1 << 40)
+
+/* P-OPT's rank for streaming ways when they are not preferred
+ * outright (matches POPT.choose_victim). */
+#define POPT_STREAMING_NEXT_REF ((i64)1 << 30)
+
+/* Rereference Matrix entry-encoding codes (constants.RM_VARIANT_CODES). */
+#define RM_VARIANT_INTER_ONLY 0
+#define RM_VARIANT_INTER_INTRA 1
+#define RM_VARIANT_SINGLE_EPOCH 2
+
+/* Per-stream parameter block layout (constants.POPT_SPARAM_LAYOUT). */
+#define POPT_SPARAM_SLOTS 7
+#define POPT_SP_VARIANT 0
+#define POPT_SP_MSB 1
+#define POPT_SP_LOW_MASK 2
+#define POPT_SP_NEXT_BIT 3
+#define POPT_SP_EPOCH_SIZE 4
+#define POPT_SP_SUB_EPOCH_SIZE 5
+#define POPT_SP_NUM_EPOCHS 6
 
 /* out[0..3] += hits, misses, evictions, writebacks */
 
@@ -42,13 +77,18 @@ typedef uint8_t u8;
             if ((resident)[_w] == (line)) { (way) = _w; break; }             \
     } while (0)
 
+/* Set-partitioned kernels carve 3-4 way-sized arrays from ws (the
+ * caller sizes it; see _ws_partitioned in kernels.py) and re-initialize
+ * them at every set boundary, so the workspace contents never leak
+ * between sets or calls. */
+
 void k_lru(const i64 *lines, const u8 *writes, const i64 *counts,
-           i64 num_sets, i64 ways, i64 *out)
+           i64 num_sets, i64 ways, i64 *ws, i64 *out)
 {
     i64 hits = 0, misses = 0, evics = 0, wbs = 0;
-    i64 *resident = malloc((size_t)ways * sizeof(i64));
-    i64 *stamps = malloc((size_t)ways * sizeof(i64));
-    u8 *dirty = malloc((size_t)ways);
+    i64 *resident = ws;
+    i64 *stamps = ws + ways;
+    i64 *dirty = ws + 2 * ways;
     i64 start = 0, s, k, w;
     for (s = 0; s < num_sets; s++) {
         i64 count = counts[s];
@@ -81,17 +121,16 @@ void k_lru(const i64 *lines, const u8 *writes, const i64 *counts,
         }
         start = stop;
     }
-    free(resident); free(stamps); free(dirty);
     out[0] += hits; out[1] += misses; out[2] += evics; out[3] += wbs;
 }
 
 void k_lip(const i64 *lines, const u8 *writes, const i64 *counts,
-           i64 num_sets, i64 ways, i64 *out)
+           i64 num_sets, i64 ways, i64 *ws, i64 *out)
 {
     i64 hits = 0, misses = 0, evics = 0, wbs = 0;
-    i64 *resident = malloc((size_t)ways * sizeof(i64));
-    i64 *stamps = malloc((size_t)ways * sizeof(i64));
-    u8 *dirty = malloc((size_t)ways);
+    i64 *resident = ws;
+    i64 *stamps = ws + ways;
+    i64 *dirty = ws + 2 * ways;
     i64 start = 0, s, k, w;
     for (s = 0; s < num_sets; s++) {
         i64 count = counts[s];
@@ -132,17 +171,16 @@ void k_lip(const i64 *lines, const u8 *writes, const i64 *counts,
         }
         start = stop;
     }
-    free(resident); free(stamps); free(dirty);
     out[0] += hits; out[1] += misses; out[2] += evics; out[3] += wbs;
 }
 
 void k_bit_plru(const i64 *lines, const u8 *writes, const i64 *counts,
-                i64 num_sets, i64 ways, i64 *out)
+                i64 num_sets, i64 ways, i64 *ws, i64 *out)
 {
     i64 hits = 0, misses = 0, evics = 0, wbs = 0;
-    i64 *resident = malloc((size_t)ways * sizeof(i64));
-    u8 *mru = malloc((size_t)ways);
-    u8 *dirty = malloc((size_t)ways);
+    i64 *resident = ws;
+    i64 *mru = ws + ways;
+    i64 *dirty = ws + 2 * ways;
     i64 start = 0, s, k, w;
     for (s = 0; s < num_sets; s++) {
         i64 count = counts[s];
@@ -176,23 +214,22 @@ void k_bit_plru(const i64 *lines, const u8 *writes, const i64 *counts,
             nset = 0;
             for (w = 0; w < ways; w++) nset += mru[w];
             if (nset == ways) {
-                memset(mru, 0, (size_t)ways);
+                for (w = 0; w < ways; w++) mru[w] = 0;
                 mru[way] = 1;
             }
         }
         start = stop;
     }
-    free(resident); free(mru); free(dirty);
     out[0] += hits; out[1] += misses; out[2] += evics; out[3] += wbs;
 }
 
 void k_srrip(const i64 *lines, const u8 *writes, const i64 *counts,
-             i64 num_sets, i64 ways, i64 rmax, i64 *out)
+             i64 num_sets, i64 ways, i64 rmax, i64 *ws, i64 *out)
 {
     i64 hits = 0, misses = 0, evics = 0, wbs = 0;
-    i64 *resident = malloc((size_t)ways * sizeof(i64));
-    i64 *rrpv = malloc((size_t)ways * sizeof(i64));
-    u8 *dirty = malloc((size_t)ways);
+    i64 *resident = ws;
+    i64 *rrpv = ws + ways;
+    i64 *dirty = ws + 2 * ways;
     i64 start = 0, s, k, w;
     for (s = 0; s < num_sets; s++) {
         i64 count = counts[s];
@@ -230,17 +267,16 @@ void k_srrip(const i64 *lines, const u8 *writes, const i64 *counts,
         }
         start = stop;
     }
-    free(resident); free(rrpv); free(dirty);
     out[0] += hits; out[1] += misses; out[2] += evics; out[3] += wbs;
 }
 
 void k_opt(const i64 *lines, const u8 *writes, const i64 *snext,
-           const i64 *counts, i64 num_sets, i64 ways, i64 *out)
+           const i64 *counts, i64 num_sets, i64 ways, i64 *ws, i64 *out)
 {
     i64 hits = 0, misses = 0, evics = 0, wbs = 0;
-    i64 *resident = malloc((size_t)ways * sizeof(i64));
-    i64 *line_next = malloc((size_t)ways * sizeof(i64));
-    u8 *dirty = malloc((size_t)ways);
+    i64 *resident = ws;
+    i64 *line_next = ws + ways;
+    i64 *dirty = ws + 2 * ways;
     i64 start = 0, s, k, w;
     for (s = 0; s < num_sets; s++) {
         i64 count = counts[s];
@@ -273,7 +309,6 @@ void k_opt(const i64 *lines, const u8 *writes, const i64 *snext,
         }
         start = stop;
     }
-    free(resident); free(line_next); free(dirty);
     out[0] += hits; out[1] += misses; out[2] += evics; out[3] += wbs;
 }
 
@@ -282,12 +317,12 @@ void k_opt(const i64 *lines, const u8 *writes, const i64 *snext,
  * at the set-sorted position k; the caller scatters it back through its
  * argsort order. */
 void k_bit_plru_mask(const i64 *lines, const u8 *writes, const i64 *counts,
-                     i64 num_sets, i64 ways, u8 *hit_out, i64 *out)
+                     i64 num_sets, i64 ways, u8 *hit_out, i64 *ws, i64 *out)
 {
     i64 hits = 0, misses = 0, evics = 0, wbs = 0;
-    i64 *resident = malloc((size_t)ways * sizeof(i64));
-    u8 *mru = malloc((size_t)ways);
-    u8 *dirty = malloc((size_t)ways);
+    i64 *resident = ws;
+    i64 *mru = ws + ways;
+    i64 *dirty = ws + 2 * ways;
     i64 start = 0, s, k, w;
     for (s = 0; s < num_sets; s++) {
         i64 count = counts[s];
@@ -322,19 +357,18 @@ void k_bit_plru_mask(const i64 *lines, const u8 *writes, const i64 *counts,
             nset = 0;
             for (w = 0; w < ways; w++) nset += mru[w];
             if (nset == ways) {
-                memset(mru, 0, (size_t)ways);
+                for (w = 0; w < ways; w++) mru[w] = 0;
                 mru[way] = 1;
             }
         }
         start = stop;
     }
-    free(resident); free(mru); free(dirty);
     out[0] += hits; out[1] += misses; out[2] += evics; out[3] += wbs;
 }
 
 /* Access-order kernels: a global fill RNG (and DRRIP's PSEL) couples
  * the sets, so these walk the stream in original order with flat
- * (set, way) state arrays allocated here. */
+ * (set, way) state arrays carved from the caller's workspace. */
 
 static i64 rrip_victim(i64 *rrpv, i64 ways, i64 rmax)
 {
@@ -351,16 +385,17 @@ static i64 rrip_victim(i64 *rrpv, i64 ways, i64 rmax)
 
 void k_brrip(const i64 *lines, const u8 *writes, const i64 *sidx, i64 n,
              i64 num_sets, i64 ways, i64 rmax, double trickle,
-             const double *draws, i64 *out)
+             const double *draws, i64 *ws, i64 *out)
 {
     i64 hits = 0, misses = 0, evics = 0, wbs = 0;
     i64 total = num_sets * ways;
-    i64 *resident = malloc((size_t)total * sizeof(i64));
-    i64 *rrpv = malloc((size_t)total * sizeof(i64));
-    u8 *dirty = calloc((size_t)total, 1);
-    i64 *filled = calloc((size_t)num_sets, sizeof(i64));
+    i64 *resident = ws;
+    i64 *rrpv = ws + total;
+    i64 *dirty = ws + 2 * total;
+    i64 *filled = ws + 3 * total;
     i64 k, w, dc = 0;
-    for (k = 0; k < total; k++) { resident[k] = -1; rrpv[k] = rmax; }
+    for (k = 0; k < total; k++) { resident[k] = -1; rrpv[k] = rmax; dirty[k] = 0; }
+    for (k = 0; k < num_sets; k++) filled[k] = 0;
     for (k = 0; k < n; k++) {
         i64 line = lines[k];
         i64 base = sidx[k] * ways;
@@ -386,24 +421,24 @@ void k_brrip(const i64 *lines, const u8 *writes, const i64 *sidx, i64 n,
             rrpv_s[way] = draws[dc++] < trickle ? rmax - 1 : rmax;
         }
     }
-    free(resident); free(rrpv); free(dirty); free(filled);
     out[0] += hits; out[1] += misses; out[2] += evics; out[3] += wbs;
 }
 
 void k_drrip(const i64 *lines, const u8 *writes, const i64 *sidx, i64 n,
              i64 num_sets, i64 ways, i64 rmax, double trickle,
              i64 psel, i64 psel_max, const i64 *leader,
-             const double *draws, i64 *out)
+             const double *draws, i64 *ws, i64 *out)
 {
     i64 hits = 0, misses = 0, evics = 0, wbs = 0;
     i64 total = num_sets * ways;
     i64 psel_half = psel_max / 2;
-    i64 *resident = malloc((size_t)total * sizeof(i64));
-    i64 *rrpv = malloc((size_t)total * sizeof(i64));
-    u8 *dirty = calloc((size_t)total, 1);
-    i64 *filled = calloc((size_t)num_sets, sizeof(i64));
+    i64 *resident = ws;
+    i64 *rrpv = ws + total;
+    i64 *dirty = ws + 2 * total;
+    i64 *filled = ws + 3 * total;
     i64 k, dc = 0;
-    for (k = 0; k < total; k++) { resident[k] = -1; rrpv[k] = rmax; }
+    for (k = 0; k < total; k++) { resident[k] = -1; rrpv[k] = rmax; dirty[k] = 0; }
+    for (k = 0; k < num_sets; k++) filled[k] = 0;
     for (k = 0; k < n; k++) {
         i64 line = lines[k];
         i64 s = sidx[k];
@@ -447,7 +482,6 @@ void k_drrip(const i64 *lines, const u8 *writes, const i64 *sidx, i64 n,
                 rrpv_s[way] = draws[dc++] < trickle ? rmax - 1 : rmax;
         }
     }
-    free(resident); free(rrpv); free(dirty); free(filled);
     out[0] += hits; out[1] += misses; out[2] += evics; out[3] += wbs;
 }
 
@@ -467,15 +501,16 @@ static i64 lower_bound(const i64 *a, i64 lo, i64 hi, i64 key)
 /* cnt[0..1] += replacements, transpose_walk_elements */
 void k_topt(const i64 *lines, const u8 *writes, const i64 *vertices,
             const i64 *lo, const i64 *hi, const i64 *refs,
-            const i64 *counts, i64 num_sets, i64 ways, i64 *out, i64 *cnt)
+            const i64 *counts, i64 num_sets, i64 ways, i64 *ws,
+            i64 *out, i64 *cnt)
 {
     i64 hits = 0, misses = 0, evics = 0, wbs = 0;
     i64 repl = 0, walk = 0;
-    const i64 never = (i64)1 << 40;
-    i64 *resident = malloc((size_t)ways * sizeof(i64));
-    i64 *wlo = malloc((size_t)ways * sizeof(i64));
-    i64 *whi = malloc((size_t)ways * sizeof(i64));
-    u8 *dirty = malloc((size_t)ways);
+    const i64 never = TOPT_NEVER;
+    i64 *resident = ws;
+    i64 *wlo = ws + ways;
+    i64 *whi = ws + 2 * ways;
+    i64 *dirty = ws + 3 * ways;
     i64 start = 0, s, k, w;
     for (s = 0; s < num_sets; s++) {
         i64 count = counts[s];
@@ -519,31 +554,32 @@ void k_topt(const i64 *lines, const u8 *writes, const i64 *vertices,
         }
         start = stop;
     }
-    free(resident); free(wlo); free(whi); free(dirty);
     out[0] += hits; out[1] += misses; out[2] += evics; out[3] += wbs;
     cnt[0] += repl; cnt[1] += walk;
 }
 
 /* Algorithm 2 over one flattened Rereference Matrix row; sp is the
- * stream's 7-slot parameter block {variant, msb, low_mask, next_bit,
- * epoch_size, sub_epoch_size, num_epochs}. All operands are
- * non-negative, so C integer division is the floor division the
+ * stream's POPT_SPARAM_SLOTS-slot parameter block (layout
+ * POPT_SP_*, mirroring constants.POPT_SPARAM_LAYOUT). All operands
+ * are non-negative, so C integer division is the floor division the
  * Python decode uses. */
 static i64 popt_next_ref(const i64 *sp, const i64 *entries, i64 row_base,
                          i64 vertex)
 {
-    i64 variant = sp[0], msb = sp[1], low = sp[2], nbit = sp[3];
-    i64 esize = sp[4], ssize = sp[5], nepochs = sp[6];
+    i64 variant = sp[POPT_SP_VARIANT], msb = sp[POPT_SP_MSB];
+    i64 low = sp[POPT_SP_LOW_MASK], nbit = sp[POPT_SP_NEXT_BIT];
+    i64 esize = sp[POPT_SP_EPOCH_SIZE], ssize = sp[POPT_SP_SUB_EPOCH_SIZE];
+    i64 nepochs = sp[POPT_SP_NUM_EPOCHS];
     i64 epoch = vertex / esize;
     i64 current, last_sub, curr_sub, next;
     if (epoch >= nepochs) return low;
     current = entries[row_base + epoch];
-    if (variant == 0) return current;
+    if (variant == RM_VARIANT_INTER_ONLY) return current;
     if (current & msb) return current & low;
     last_sub = current & low;
     curr_sub = (vertex - epoch * esize) / ssize;
     if (curr_sub <= last_sub) return 0;
-    if (variant == 2) return (current & nbit) ? 1 : 2;
+    if (variant == RM_VARIANT_SINGLE_EPOCH) return (current & nbit) ? 1 : 2;
     if (epoch + 1 >= nepochs) return low;
     next = entries[row_base + epoch + 1];
     if (next & msb) return 1 + (next & low);
@@ -557,23 +593,25 @@ void k_popt(const i64 *lines, const u8 *writes, const i64 *vertices,
             i64 num_sets, i64 ways,
             const i64 *sparams, const i64 *entries, i64 prefer_streaming,
             i64 rmax, double trickle, i64 psel_max, const i64 *leader,
-            const double *draws, i64 *out, i64 *cnt)
+            const double *draws, i64 *ws, i64 *out, i64 *cnt)
 {
     i64 hits = 0, misses = 0, evics = 0, wbs = 0;
     i64 repl = 0, sevic = 0, rml = 0, ties = 0, tiec = 0;
     i64 total = num_sets * ways;
     i64 psel = psel_max / 2, psel_half = psel_max / 2;
-    i64 *resident = malloc((size_t)total * sizeof(i64));
-    i64 *rrpv = malloc((size_t)total * sizeof(i64));
-    i64 *wsid = malloc((size_t)total * sizeof(i64));
-    i64 *wrb = malloc((size_t)total * sizeof(i64));
-    i64 *wref = malloc((size_t)ways * sizeof(i64));
-    u8 *dirty = calloc((size_t)total, 1);
-    i64 *filled = calloc((size_t)num_sets, sizeof(i64));
+    i64 *resident = ws;
+    i64 *rrpv = ws + total;
+    i64 *wsid = ws + 2 * total;
+    i64 *wrb = ws + 3 * total;
+    i64 *dirty = ws + 4 * total;
+    i64 *filled = ws + 5 * total;
+    i64 *wref = ws + 5 * total + num_sets;
     i64 k, w, dc = 0;
     for (k = 0; k < total; k++) {
         resident[k] = -1; rrpv[k] = rmax; wsid[k] = -1; wrb[k] = -1;
+        dirty[k] = 0;
     }
+    for (k = 0; k < num_sets; k++) filled[k] = 0;
     for (k = 0; k < n; k++) {
         i64 line = lines[k];
         i64 s = sidx[k];
@@ -602,11 +640,11 @@ void k_popt(const i64 *lines, const u8 *writes, const i64 *vertices,
                             /* First streaming way wins outright. */
                             sevic++; victim = w; break;
                         }
-                        r = (i64)1 << 30;
+                        r = POPT_STREAMING_NEXT_REF;
                     } else {
                         rml++;
-                        r = popt_next_ref(sparams + 7 * sw, entries,
-                                          wrb[base + w], vertex);
+                        r = popt_next_ref(sparams + POPT_SPARAM_SLOTS * sw,
+                                          entries, wrb[base + w], vertex);
                     }
                     wref[w] = r;
                     if (r > best) best = r;
@@ -653,8 +691,6 @@ void k_popt(const i64 *lines, const u8 *writes, const i64 *vertices,
                 rrpv_s[way] = draws[dc++] < trickle ? rmax - 1 : rmax;
         }
     }
-    free(resident); free(rrpv); free(wsid); free(wrb); free(wref);
-    free(dirty); free(filled);
     out[0] += hits; out[1] += misses; out[2] += evics; out[3] += wbs;
     cnt[0] += repl; cnt[1] += sevic; cnt[2] += rml; cnt[3] += ties; cnt[4] += tiec;
 }

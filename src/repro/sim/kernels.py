@@ -118,8 +118,13 @@ from ..errors import SimulationError
 from ..policies.random_policy import RandomReplacement
 from ..policies.rrip import BRRIP
 from ..popt.arch import PoptCounters
-from ..popt.topt import NEVER as TOPT_NEVER
 from . import ckernels
+from .constants import (
+    POPT_SPARAM_SLOTS,
+    POPT_STREAMING_NEXT_REF,
+    RM_VARIANT_CODES,
+    TOPT_NEVER,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .engine import PrivateFilter
@@ -178,15 +183,23 @@ def _f64(arr: np.ndarray):
     return arr.ctypes.data_as(_F64P)
 
 
+def _ws(size: int) -> np.ndarray:
+    """Scratch workspace for a compiled kernel (malloc-free C: every
+    kernel carves its per-set/per-way state out of one caller-owned
+    int64 array and initializes it itself, so ``empty`` is safe)."""
+    return np.empty(int(size), dtype=np.int64)
+
+
 def _c_partitioned(clib, name: str, req: KernelRequest) -> CacheStats:
     """Invoke a plain set-partitioned C kernel:
-    ``fn(lines, writes, counts, num_sets, ways, out)``."""
+    ``fn(lines, writes, counts, num_sets, ways, ws, out)``."""
     config = req.config
     counts, slines, swrites, _ = req.filt.set_partition_arrays(config)
     out = np.zeros(4, dtype=np.int64)
     getattr(clib, name)(
         _i64(slines), _u8(swrites), _i64(counts),
-        config.num_sets, config.num_ways, _i64(out),
+        config.num_sets, config.num_ways,
+        _i64(_ws(3 * config.num_ways)), _i64(out),
     )
     return _finish(config, *out.tolist())
 
@@ -242,7 +255,8 @@ def replay_bit_plru_stream(
         out = np.zeros(4, dtype=np.int64)
         clib.k_bit_plru_mask(
             _i64(sorted_lines_arr), _u8(sorted_writes_arr), _i64(counts64),
-            num_sets, num_ways, _u8(hit_sorted), _i64(out),
+            num_sets, num_ways, _u8(hit_sorted),
+            _i64(_ws(3 * num_ways)), _i64(out),
         )
         hit_mask[order] = hit_sorted.view(bool)
         hits, misses, evictions, writebacks = out.tolist()
@@ -514,7 +528,7 @@ def kernel_srrip(req: KernelRequest) -> CacheStats:
         clib.k_srrip(
             _i64(slines), _u8(swrites), _i64(counts),
             config.num_sets, config.num_ways, req.policy.rrpv_max,
-            _i64(out),
+            _i64(_ws(3 * config.num_ways)), _i64(out),
         )
         return _finish(config, *out.tolist())
     config = req.config
@@ -588,7 +602,8 @@ def kernel_opt(req: KernelRequest) -> CacheStats:
         out = np.zeros(4, dtype=np.int64)
         clib.k_opt(
             _i64(slines), _u8(swrites), _i64(snext_arr), _i64(counts),
-            config.num_sets, config.num_ways, _i64(out),
+            config.num_sets, config.num_ways,
+            _i64(_ws(3 * config.num_ways)), _i64(out),
         )
         return _finish(config, *out.tolist())
     num_ways = config.num_ways
@@ -661,7 +676,10 @@ def kernel_brrip(req: KernelRequest) -> CacheStats:
         clib.k_brrip(
             _i64(lines_arr), _u8(writes_arr), _i64(sidx), n,
             config.num_sets, config.num_ways, rmax, trickle,
-            _f64(draws), _i64(out),
+            _f64(draws),
+            _i64(_ws(3 * config.num_sets * config.num_ways
+                     + config.num_sets)),
+            _i64(out),
         )
         return _finish(config, *out.tolist())
     num_sets = config.num_sets
@@ -753,7 +771,8 @@ def kernel_drrip(req: KernelRequest) -> CacheStats:
             _i64(lines_arr), _u8(writes_arr), _i64(sidx), n,
             num_sets, num_ways, rmax, trickle,
             psel_max // 2, psel_max, _i64(leader_arr),
-            _f64(draws), _i64(out),
+            _f64(draws),
+            _i64(_ws(3 * num_sets * num_ways + num_sets)), _i64(out),
         )
         return _finish(config, *out.tolist())
     lines, _, writes, _, _ = req.filt.as_lists()
@@ -820,11 +839,13 @@ def kernel_drrip(req: KernelRequest) -> CacheStats:
 
 
 #: Streaming ways rank as "infinitely far" when P-OPT is configured not
-#: to prefer them outright (matches ``POPT.choose_victim``).
-_POPT_STREAMING_REF = 1 << 30
+#: to prefer them outright (matches ``POPT.choose_victim``); shared with
+#: the reference policy via :mod:`repro.sim.constants`.
+_POPT_STREAMING_REF = POPT_STREAMING_NEXT_REF
 
-#: Rereference Matrix variant codes shared by the pure and C forms.
-_RM_VARIANT_CODES = {"inter_only": 0, "inter_intra": 1, "single_epoch": 2}
+#: Rereference Matrix variant codes shared by the pure and C forms
+#: (the registry copy — ``kernels.c`` parity-checks its ``#define``s).
+_RM_VARIANT_CODES = RM_VARIANT_CODES
 
 
 def _region_bounds(policy) -> tuple:
@@ -889,7 +910,8 @@ def kernel_topt(req: KernelRequest) -> CacheStats:
         clib.k_topt(
             _i64(slines), _u8(swrites), _i64(sverts_arr),
             _i64(slo_arr), _i64(shi_arr), _i64(policy._refs_arr),
-            _i64(counts), config.num_sets, num_ways, _i64(out), _i64(cnt),
+            _i64(counts), config.num_sets, num_ways,
+            _i64(_ws(4 * num_ways)), _i64(out), _i64(cnt),
         )
         policy.replacements = int(cnt[0])
         policy.transpose_walk_elements = int(cnt[1])
@@ -1017,8 +1039,9 @@ def kernel_popt(req: KernelRequest) -> CacheStats:
     if clib is not None:
         # Flatten every stream's RM into one int64 array; each access
         # carries the flat base index of its line's row (-1 = streaming)
-        # and a 7-slot parameter block per stream drives the decode.
-        sparams = np.zeros(7 * len(regions), dtype=np.int64)
+        # and a POPT_SPARAM_LAYOUT parameter block per stream drives
+        # the decode.
+        sparams = np.zeros(POPT_SPARAM_SLOTS * len(regions), dtype=np.int64)
         entry_parts = [
             np.ascontiguousarray(m.entries, dtype=np.int64).ravel()
             for m in matrices
@@ -1030,7 +1053,8 @@ def kernel_popt(req: KernelRequest) -> CacheStats:
             )
         row_base = np.full(n, -1, dtype=np.int64)
         for index, matrix in enumerate(matrices):
-            sparams[7 * index:7 * index + 7] = (
+            block = POPT_SPARAM_SLOTS * index
+            sparams[block:block + POPT_SPARAM_SLOTS] = (
                 _RM_VARIANT_CODES[matrix.variant],
                 matrix._msb,
                 matrix._low_mask,
@@ -1059,6 +1083,7 @@ def kernel_popt(req: KernelRequest) -> CacheStats:
             _i64(sparams), _i64(entries_flat),
             1 if prefer_streaming else 0,
             rmax, trickle, psel_max, _i64(leader_arr), _f64(draws),
+            _i64(_ws(5 * num_sets * num_ways + num_sets + num_ways)),
             _i64(out), _i64(cnt),
         )
         hits, misses, evictions, writebacks = out.tolist()

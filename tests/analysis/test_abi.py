@@ -1,0 +1,479 @@
+"""Mutation tests for the ``abi`` family: seed one drift per rule.
+
+Each test starts from a known-good four-file fixture (``kernels.c``,
+``ckernels.py``, ``kernels.py``, ``constants.py`` under a ``sim/``
+directory, mirroring the shipped layout) that lints clean, applies
+exactly one ABI drift, and asserts the expected ``abi-*`` rule fires
+with a file/line finding. The final tests pin the shipped tree clean
+under the family.
+"""
+
+from pathlib import Path
+from textwrap import dedent
+
+from repro.analysis import SimlintConfig, run_simlint
+
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+C_BASE = """\
+#include <stdint.h>
+
+typedef int64_t i64;
+typedef uint8_t u8;
+
+#define TOPT_NEVER ((i64)1 << 40)
+#define RM_VARIANT_INTER_ONLY 0
+
+static i64 clamp(i64 x, i64 hi)
+{
+    return x < hi ? x : hi;
+}
+
+void k_lru(const i64 *lines, const u8 *writes, i64 n,
+           i64 *ws, i64 *out)
+{
+    i64 k;
+    ws[0] = 0;
+    for (k = 0; k < n; k++)
+        ws[0] += lines[k] + (i64)writes[k];
+    out[0] = clamp(ws[0], TOPT_NEVER);
+}
+
+void k_opt(const i64 *lines, const u8 *writes, i64 n, double scale,
+           const double *draws, i64 *ws, i64 *out)
+{
+    i64 k;
+    ws[0] = RM_VARIANT_INTER_ONLY;
+    for (k = 0; k < n; k++)
+        ws[0] += lines[k] + (i64)(scale * draws[k]) + (i64)writes[k];
+    out[0] = clamp(ws[0], TOPT_NEVER);
+}
+"""
+
+CKERNELS_BASE = """\
+import ctypes
+
+_I64 = ctypes.c_longlong
+_F64 = ctypes.c_double
+_I64P = ctypes.POINTER(ctypes.c_longlong)
+_U8P = ctypes.POINTER(ctypes.c_ubyte)
+_F64P = ctypes.POINTER(ctypes.c_double)
+
+_SIGNATURES = {
+    "k_lru": [_I64P, _U8P, _I64, _I64P, _I64P],
+    "k_opt": [_I64P, _U8P, _I64, _F64, _F64P, _I64P, _I64P],
+}
+"""
+
+KERNELS_BASE = """\
+def _i64(array):
+    return array
+
+
+def _u8(array):
+    return array
+
+
+def _f64(array):
+    return array
+
+
+def _call(clib, name, lines, writes, ws, out):
+    getattr(clib, name)(
+        _i64(lines), _u8(writes), len(lines), _i64(ws), _i64(out)
+    )
+
+
+def kernel_lru(clib, lines, writes, ws, out):
+    return _call(clib, "k_lru", lines, writes, ws, out)
+
+
+def kernel_opt(clib, lines, writes, scale, draws, ws, out):
+    clib.k_opt(
+        _i64(lines), _u8(writes), len(lines), scale,
+        _f64(draws), _i64(ws), _i64(out)
+    )
+
+
+KERNEL_TABLE = {
+    "lru": kernel_lru,
+    "opt": kernel_opt,
+}
+"""
+
+CONSTANTS_BASE = """\
+TOPT_NEVER = 1 << 40
+RM_VARIANTS = ("inter_only", "inter_intra")
+RM_VARIANT_INTER_ONLY = RM_VARIANTS.index("inter_only")
+
+C_PARITY = {
+    "TOPT_NEVER": TOPT_NEVER,
+    "RM_VARIANT_INTER_ONLY": RM_VARIANT_INTER_ONLY,
+}
+"""
+
+
+def lint_abi(tmp_path, c=C_BASE, ck=CKERNELS_BASE, k=KERNELS_BASE,
+             consts=CONSTANTS_BASE):
+    """Write the fixture under ``sim/`` and run only the abi family."""
+    sim = tmp_path / "sim"
+    sim.mkdir(exist_ok=True)
+    if c is not None:
+        (sim / "kernels.c").write_text(dedent(c))
+    (sim / "ckernels.py").write_text(dedent(ck))
+    if k is not None:
+        (sim / "kernels.py").write_text(dedent(k))
+    if consts is not None:
+        (sim / "constants.py").write_text(dedent(consts))
+    return run_simlint([sim], SimlintConfig(families=("abi",)))
+
+
+def rules_of(findings):
+    return {finding.rule for finding in findings}
+
+
+def line_of(source, needle):
+    """1-based line of the first fixture line containing ``needle``."""
+    for lineno, line in enumerate(dedent(source).splitlines(), start=1):
+        if needle in line:
+            return lineno
+    raise AssertionError(f"fixture has no line containing {needle!r}")
+
+
+def only(findings, rule):
+    picked = [f for f in findings if f.rule == rule]
+    assert picked, f"expected a {rule} finding, got {findings}"
+    return picked
+
+
+class TestBaseline:
+    def test_baseline_fixture_is_clean(self, tmp_path):
+        assert lint_abi(tmp_path) == []
+
+    def test_scope_requires_sim_directory(self, tmp_path):
+        # The same files outside a sim/ directory never engage the
+        # family: the rules model one specific module layout.
+        (tmp_path / "kernels.c").write_text(C_BASE)
+        (tmp_path / "ckernels.py").write_text(CKERNELS_BASE)
+        findings = run_simlint(
+            [tmp_path], SimlintConfig(families=("abi",))
+        )
+        assert findings == []
+
+
+class TestSignatureParity:
+    def test_widened_c_argument_type_fires(self, tmp_path):
+        # u8* buffer widened to i64* on the C side only.
+        mutated = C_BASE.replace(
+            "void k_lru(const i64 *lines, const u8 *writes",
+            "void k_lru(const i64 *lines, const i64 *writes",
+        )
+        findings = lint_abi(tmp_path, c=mutated)
+        hits = only(findings, "abi-signature")
+        assert any(
+            "writes" in f.message and "u8*" in f.message and
+            "i64*" in f.message for f in hits
+        )
+        sig_line = line_of(CKERNELS_BASE, '"k_lru"')
+        assert any(
+            f.path.endswith("ckernels.py") and f.line == sig_line
+            for f in hits
+        )
+        # The call site disagrees with the C prototype too.
+        assert "abi-callsite" in rules_of(findings)
+
+    def test_reordered_signatures_entry_fires(self, tmp_path):
+        mutated = CKERNELS_BASE.replace(
+            '"k_lru": [_I64P, _U8P, _I64, _I64P, _I64P],',
+            '"k_lru": [_U8P, _I64P, _I64, _I64P, _I64P],',
+        )
+        findings = lint_abi(tmp_path, ck=mutated)
+        hits = only(findings, "abi-signature")
+        assert any("argument 0" in f.message for f in hits)
+        assert any("argument 1" in f.message for f in hits)
+        sig_line = line_of(mutated, '"k_lru"')
+        assert all(f.line == sig_line for f in hits)
+
+    def test_unresolvable_ctypes_expression_fires(self, tmp_path):
+        mutated = CKERNELS_BASE.replace(
+            '"k_lru": [_I64P, _U8P, _I64, _I64P, _I64P],',
+            '"k_lru": [MYSTERY, _U8P, _I64, _I64P, _I64P],',
+        )
+        findings = lint_abi(tmp_path, ck=mutated)
+        hits = only(findings, "abi-signature")
+        assert any("cannot resolve" in f.message for f in hits)
+
+    def test_pragma_suppresses_signature_finding(self, tmp_path):
+        mutated_c = C_BASE.replace(
+            "void k_lru(const i64 *lines, const u8 *writes",
+            "void k_lru(const i64 *lines, const i64 *writes",
+        )
+        mutated_ck = CKERNELS_BASE.replace(
+            '"k_lru": [_I64P, _U8P, _I64, _I64P, _I64P],',
+            '"k_lru": [_I64P, _U8P, _I64, _I64P, _I64P],'
+            "  # simlint: allow[abi-signature]",
+        )
+        findings = lint_abi(tmp_path, c=mutated_c, ck=mutated_ck)
+        assert "abi-signature" not in rules_of(findings)
+
+
+class TestCallSiteParity:
+    def test_dropped_call_argument_fires(self, tmp_path):
+        # kernel_opt forgets to pass the draws buffer.
+        mutated = KERNELS_BASE.replace(
+            "_f64(draws), _i64(ws), _i64(out)",
+            "_i64(ws), _i64(out)",
+        )
+        findings = lint_abi(tmp_path, k=mutated)
+        hits = only(findings, "abi-callsite")
+        call_line = line_of(mutated, "clib.k_opt(")
+        assert any(
+            f.path.endswith("kernels.py") and f.line == call_line and
+            "6 argument(s)" in f.message and "7" in f.message
+            for f in hits
+        )
+
+    def test_helper_dispatched_call_is_checked(self, tmp_path):
+        # The getattr-dispatch helper drops the writes buffer: every
+        # kernel routed through it is called one argument short.
+        mutated = KERNELS_BASE.replace(
+            "_i64(lines), _u8(writes), len(lines), _i64(ws), _i64(out)",
+            "_i64(lines), len(lines), _i64(ws), _i64(out)",
+        )
+        findings = lint_abi(tmp_path, k=mutated)
+        hits = only(findings, "abi-callsite")
+        assert any("via _call()" in f.message for f in hits)
+
+    def test_swapped_wrapper_kind_fires(self, tmp_path):
+        mutated = KERNELS_BASE.replace("_u8(writes)", "_i64(writes)")
+        findings = lint_abi(tmp_path, k=mutated)
+        hits = only(findings, "abi-callsite")
+        assert any("writes" in f.message for f in hits)
+
+
+class TestCoverage:
+    def test_signature_without_c_definition_fires(self, tmp_path):
+        mutated = CKERNELS_BASE.replace(
+            "_SIGNATURES = {",
+            '_SIGNATURES = {\n    "k_ghost": [_I64P],',
+        )
+        findings = lint_abi(tmp_path, ck=mutated)
+        messages = [f.message for f in only(findings, "abi-coverage")]
+        assert any("no exported" in m for m in messages)
+        assert any("never invoked" in m for m in messages)
+
+    def test_exported_kernel_missing_from_signatures_fires(
+        self, tmp_path
+    ):
+        mutated = CKERNELS_BASE.replace(
+            '    "k_opt": [_I64P, _U8P, _I64, _F64, _F64P, _I64P, '
+            "_I64P],\n",
+            "",
+        )
+        findings = lint_abi(tmp_path, ck=mutated)
+        hits = only(findings, "abi-coverage")
+        c_line = line_of(C_BASE, "void k_opt(")
+        assert any(
+            f.path.endswith("kernels.c") and f.line == c_line and
+            "missing from ckernels._SIGNATURES" in f.message
+            for f in hits
+        )
+        assert any(
+            f.path.endswith("kernels.py") and
+            "no ckernels._SIGNATURES entry" in f.message
+            for f in hits
+        )
+
+    def test_unregistered_kernel_function_fires(self, tmp_path):
+        mutated = KERNELS_BASE + dedent("""
+            def kernel_extra(clib):
+                return None
+        """)
+        findings = lint_abi(tmp_path, k=mutated)
+        hits = only(findings, "abi-coverage")
+        assert any(
+            "kernel_extra is not registered in KERNEL_TABLE"
+            in f.message for f in hits
+        )
+
+
+class TestConstantParity:
+    def test_forked_sentinel_literal_fires(self, tmp_path):
+        mutated = C_BASE.replace(
+            "#define TOPT_NEVER ((i64)1 << 40)",
+            "#define TOPT_NEVER ((i64)1 << 39)",
+        )
+        findings = lint_abi(tmp_path, c=mutated)
+        hits = only(findings, "abi-constant")
+        define_line = line_of(mutated, "#define TOPT_NEVER")
+        assert any(
+            f.path.endswith("kernels.c") and f.line == define_line and
+            str(1 << 39) in f.message and str(1 << 40) in f.message
+            for f in hits
+        )
+
+    def test_missing_define_fires(self, tmp_path):
+        mutated = C_BASE.replace(
+            "#define RM_VARIANT_INTER_ONLY 0\n", ""
+        ).replace("RM_VARIANT_INTER_ONLY;", "0;")
+        findings = lint_abi(tmp_path, c=mutated)
+        hits = only(findings, "abi-constant")
+        assert any(
+            f.path.endswith("constants.py") and
+            "has no #define" in f.message for f in hits
+        )
+
+    def test_unregistered_define_fires(self, tmp_path):
+        mutated = C_BASE.replace(
+            "#define RM_VARIANT_INTER_ONLY 0",
+            "#define RM_VARIANT_INTER_ONLY 0\n#define STRAY_KNOB 7",
+        )
+        findings = lint_abi(tmp_path, c=mutated)
+        hits = only(findings, "abi-constant")
+        assert any(
+            "STRAY_KNOB is not registered" in f.message for f in hits
+        )
+
+    def test_non_constant_define_is_a_parse_error(self, tmp_path):
+        mutated = C_BASE.replace(
+            "#define RM_VARIANT_INTER_ONLY 0",
+            "#define RM_VARIANT_INTER_ONLY (sizeof(i64))",
+        )
+        findings = lint_abi(tmp_path, c=mutated)
+        assert any(
+            f.rule == "abi-parse" and
+            "not a constant integer expression" in f.message
+            for f in findings
+        )
+
+
+class TestCHygiene:
+    def test_malloc_fires(self, tmp_path):
+        mutated = C_BASE.replace(
+            "    i64 k;\n    ws[0] = 0;",
+            "    i64 k;\n    i64 *tmp = (i64 *)malloc(8);\n"
+            "    ws[0] = tmp[0];",
+        )
+        findings = lint_abi(tmp_path, c=mutated)
+        hits = only(findings, "abi-c-hygiene")
+        malloc_line = line_of(mutated, "malloc(8)")
+        assert any(
+            f.line == malloc_line and "heap allocation" in f.message
+            and "malloc" in f.message for f in hits
+        )
+
+    def test_external_call_fires(self, tmp_path):
+        mutated = C_BASE.replace(
+            "out[0] = clamp(ws[0], TOPT_NEVER);\n}\n\nvoid k_opt",
+            "out[0] = qsort_helper(ws[0]);\n}\n\nvoid k_opt",
+        )
+        findings = lint_abi(tmp_path, c=mutated)
+        hits = only(findings, "abi-c-hygiene")
+        assert any(
+            "external function qsort_helper()" in f.message
+            for f in hits
+        )
+
+    def test_literal_loop_bound_fires(self, tmp_path):
+        mutated = C_BASE.replace("(k = 0; k < n; k++)\n        ws[0] +="
+                                 " lines[k] + (i64)writes[k];",
+                                 "(k = 0; k < 8; k++)\n        ws[0] +="
+                                 " lines[k] + (i64)writes[k];")
+        findings = lint_abi(tmp_path, c=mutated)
+        hits = only(findings, "abi-c-hygiene")
+        assert any(
+            "numeric literal 8" in f.message and
+            f.line == line_of(mutated, "k < 8") for f in hits
+        )
+
+    def test_mutable_file_scope_state_fires(self, tmp_path):
+        mutated = C_BASE.replace(
+            "static i64 clamp",
+            "static i64 call_count;\n\nstatic i64 clamp",
+        )
+        findings = lint_abi(tmp_path, c=mutated)
+        hits = only(findings, "abi-c-hygiene")
+        assert any(
+            "mutable file-scope object 'call_count'" in f.message
+            for f in hits
+        )
+
+    def test_const_file_scope_table_is_allowed(self, tmp_path):
+        mutated = C_BASE.replace(
+            "static i64 clamp",
+            "static const i64 lut[2] = {0, 1};\n\nstatic i64 clamp",
+        )
+        findings = lint_abi(tmp_path, c=mutated)
+        assert "abi-c-hygiene" not in rules_of(findings)
+
+    def test_extra_include_fires(self, tmp_path):
+        mutated = C_BASE.replace(
+            "#include <stdint.h>",
+            "#include <stdint.h>\n#include <stdlib.h>",
+        )
+        findings = lint_abi(tmp_path, c=mutated)
+        hits = only(findings, "abi-c-hygiene")
+        assert any(
+            "#include <stdlib.h>" in f.message for f in hits
+        )
+
+
+class TestCPragmas:
+    def test_same_line_c_pragma_suppresses(self, tmp_path):
+        mutated = C_BASE.replace(
+            "    i64 k;\n    ws[0] = 0;",
+            "    i64 k;\n    i64 *tmp = (i64 *)malloc(8);"
+            "  /* simlint: allow[abi-c-hygiene] */\n"
+            "    ws[0] = tmp[0];",
+        )
+        findings = lint_abi(tmp_path, c=mutated)
+        assert "abi-c-hygiene" not in rules_of(findings)
+
+    def test_standalone_c_pragma_covers_next_line(self, tmp_path):
+        mutated = C_BASE.replace(
+            "    i64 k;\n    ws[0] = 0;",
+            "    i64 k;\n    /* simlint: allow[abi-c-hygiene] */\n"
+            "    i64 *tmp = (i64 *)malloc(8);\n    ws[0] = tmp[0];",
+        )
+        findings = lint_abi(tmp_path, c=mutated)
+        assert "abi-c-hygiene" not in rules_of(findings)
+
+    def test_family_token_suppresses_in_c(self, tmp_path):
+        mutated = C_BASE.replace(
+            "#define TOPT_NEVER ((i64)1 << 40)",
+            "#define TOPT_NEVER ((i64)1 << 39)"
+            "  /* simlint: allow[abi] */",
+        )
+        findings = lint_abi(tmp_path, c=mutated)
+        assert "abi-constant" not in rules_of(findings)
+
+    def test_unknown_rule_in_c_pragma_is_flagged(self, tmp_path):
+        mutated = C_BASE.replace(
+            "typedef int64_t i64;",
+            "/* simlint: allow[abi-bogus] */\ntypedef int64_t i64;",
+        )
+        findings = lint_abi(tmp_path, c=mutated)
+        hits = only(findings, "pragma-unknown")
+        assert any(
+            f.path.endswith("kernels.c") and "abi-bogus" in f.message
+            for f in hits
+        )
+
+
+class TestParseRule:
+    def test_unparsable_c_fires(self, tmp_path):
+        findings = lint_abi(tmp_path, c="void k_lru(@@@\n")
+        assert "abi-parse" in rules_of(findings)
+
+    def test_missing_c_file_fires(self, tmp_path):
+        findings = lint_abi(tmp_path, c=None)
+        hits = only(findings, "abi-parse")
+        assert any("cannot read kernels.c" in f.message for f in hits)
+
+
+class TestShippedTree:
+    def test_shipped_sim_package_is_abi_clean(self):
+        findings = run_simlint(
+            [SRC_REPRO / "sim"], SimlintConfig(families=("abi",))
+        )
+        assert findings == []

@@ -352,6 +352,70 @@ class TestPragmas:
         """)
         assert "determinism-time" in rules_of(findings)
 
+    def test_multiple_rules_in_one_pragma(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            import random
+            import time
+
+            def stamp(result):
+                result["when"] = time.time()  # simlint: allow[determinism-time, determinism-random]
+                result["salt"] = random.random()  # simlint: allow[determinism-random, determinism-time]
+        """)
+        assert rules_of(findings) == set()
+
+    def test_pragma_on_multiline_statement_anchors_offending_line(
+        self, tmp_path
+    ):
+        # Inside a multi-line statement the pragma must sit on the line
+        # the finding anchors to — the offending expression's own line —
+        # not on the statement's opening or closing line.
+        findings = lint_source(tmp_path, """
+            import time
+
+            def stamp(result):
+                result["when"] = (
+                    time.time()  # simlint: allow[determinism-time]
+                )
+        """)
+        assert rules_of(findings) == set()
+        findings = lint_source(tmp_path, """
+            import time
+
+            def stamp(result):
+                result["when"] = (
+                    time.time()
+                )  # simlint: allow[determinism-time]
+        """)
+        assert "determinism-time" in rules_of(findings)
+
+    def test_unknown_rule_pragma_is_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def f():
+                return 1  # simlint: allow[no-such-rule]
+        """)
+        assert rules_of(findings) == {"pragma-unknown"}
+        assert "no-such-rule" in findings[0].message
+
+    def test_known_rule_and_star_pragmas_are_not_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def f():
+                return 1  # simlint: allow[determinism-time]
+
+            def g():
+                return 2  # simlint: allow[*]
+        """)
+        assert rules_of(findings) == set()
+
+    def test_pragma_syntax_in_docstring_is_not_validated(self, tmp_path):
+        # Docstrings documenting the pragma syntax are prose, not
+        # suppressions — only real comments are validated.
+        findings = lint_source(tmp_path, '''
+            def f():
+                """Use ``# simlint: allow[made-up-rule]`` to suppress."""
+                return 1
+        ''')
+        assert rules_of(findings) == set()
+
 
 # ----------------------------------------------------------------------
 # registry drift (runs against the real registry)
@@ -443,10 +507,30 @@ class TestRunner:
         module.write_text("import time\n\ndef f():\n    return time.time()\n")
         assert main([str(module), "--skip", "determinism"]) == 0
 
+    def test_main_disable_abi_round_trip(self, tmp_path, capsys):
+        # A sim/ directory whose ckernels.py names a kernel with no
+        # kernels.c at all: the abi family reports it, and
+        # ``--disable abi`` (the CI spelling, alias of --skip) makes
+        # the same tree lint clean.
+        sim = tmp_path / "sim"
+        sim.mkdir()
+        (sim / "ckernels.py").write_text(
+            "import ctypes\n\n_I64P = ctypes.POINTER(ctypes.c_longlong)"
+            "\n\n_SIGNATURES = {\n    \"k_ghost\": [_I64P],\n}\n"
+        )
+        assert main([str(sim)]) == 1
+        out = capsys.readouterr().out
+        assert "[abi-parse]" in out
+        assert "ckernels:" in out
+        assert main([str(sim), "--disable", "abi", "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
     def test_main_exit_zero_on_clean_tree(self, capsys):
         """The shipped package lints clean — the CI lint job's contract."""
         assert main([str(SRC_REPRO)]) == 0
-        assert "simlint: OK" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "simlint: OK" in out
+        assert "ckernels:" in out
 
     def test_run_simlint_clean_on_shipped_tree(self):
         assert run_simlint([SRC_REPRO]) == []

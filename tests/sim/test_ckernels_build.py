@@ -1,0 +1,102 @@
+"""Build-failure diagnostics for the optional compiled kernels.
+
+The compiled path is allowed to be unavailable (pure-Python kernels are
+the reference), but a toolchain that exists and *fails* must surface:
+once as a RuntimeWarning at first use, and persistently through
+``build_error()`` so ``python -m repro.analysis`` can report it.
+"""
+
+import subprocess
+import warnings
+
+import pytest
+
+from repro.sim import ckernels
+
+
+@pytest.fixture
+def isolated_build(tmp_path, monkeypatch):
+    """Point the build cache at a tmpdir and restore memoized state."""
+    monkeypatch.setenv("REPRO_CKERNELS_DIR", str(tmp_path))
+    monkeypatch.delenv(ckernels.PURE_ENV, raising=False)
+    ckernels.reset()
+    yield tmp_path
+    ckernels.reset()
+
+
+class TestBuildFailure:
+    def test_failing_compiler_warns_and_records(
+        self, isolated_build, monkeypatch
+    ):
+        monkeypatch.setenv(ckernels.CC_ENV, "/bin/false")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert ckernels.lib() is None
+        assert not ckernels.available()
+        error = ckernels.build_error()
+        assert error is not None
+        assert "/bin/false" in error
+        assert "status 1" in error
+
+    def test_failure_is_memoized_and_warned_once(
+        self, isolated_build, monkeypatch
+    ):
+        monkeypatch.setenv(ckernels.CC_ENV, "/bin/false")
+        with pytest.warns(RuntimeWarning):
+            ckernels.lib()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert ckernels.lib() is None
+
+    def test_unrunnable_compiler_is_reported(
+        self, isolated_build, monkeypatch
+    ):
+        missing = str(isolated_build / "no-such-cc")
+        monkeypatch.setenv(ckernels.CC_ENV, missing)
+        with pytest.warns(RuntimeWarning, match="could not run"):
+            assert ckernels.lib() is None
+        assert "could not run" in (ckernels.build_error() or "")
+
+    def test_stderr_first_line_is_captured(
+        self, isolated_build, monkeypatch
+    ):
+        fake_cc = isolated_build / "fake-cc"
+        fake_cc.write_text(
+            "#!/bin/sh\necho 'kernels.c:1:1: error: boom' >&2\nexit 1\n"
+        )
+        fake_cc.chmod(0o755)
+        monkeypatch.setenv(ckernels.CC_ENV, str(fake_cc))
+        with pytest.warns(RuntimeWarning, match="boom"):
+            ckernels.lib()
+        assert "error: boom" in (ckernels.build_error() or "")
+
+    def test_reset_clears_recorded_failure(
+        self, isolated_build, monkeypatch
+    ):
+        monkeypatch.setenv(ckernels.CC_ENV, "/bin/false")
+        with pytest.warns(RuntimeWarning):
+            ckernels.lib()
+        assert ckernels.build_error() is not None
+        ckernels.reset()
+        assert ckernels.build_error() is None
+
+    def test_pure_env_is_not_a_failure(self, isolated_build, monkeypatch):
+        monkeypatch.setenv(ckernels.PURE_ENV, "1")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert ckernels.lib() is None
+        assert ckernels.build_error() is None
+
+
+class TestWorkingToolchain:
+    def test_real_toolchain_builds_without_error(self, isolated_build):
+        if ckernels._compiler() is None:
+            pytest.skip("no C compiler on this machine")
+        try:
+            subprocess.run(
+                [ckernels._compiler() or "cc", "--version"],
+                check=True, capture_output=True,
+            )
+        except (OSError, subprocess.CalledProcessError):
+            pytest.skip("toolchain present but not runnable")
+        assert ckernels.available()
+        assert ckernels.build_error() is None
