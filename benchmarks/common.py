@@ -10,6 +10,9 @@ Environment knobs:
 
 - ``REPRO_SCALE``  — graph/cache scale profile (default ``small``).
 - ``REPRO_GRAPHS`` — comma-separated subset of Table III graph names.
+- ``REPRO_ARTIFACTS_DIR`` — artifact-store directory; when set, the
+  harnesses that run through the declarative spec layer reuse cached
+  traces/filters/rows across benchmark invocations.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ from pathlib import Path
 from typing import Dict, List, Sequence
 
 from repro.graph.datasets import graph_names
+from repro.sim.artifacts import get_store
 from repro.sim.tables import format_table
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -33,16 +37,43 @@ def get_scale() -> str:
 
 
 def get_graphs() -> Sequence[str]:
+    """Graph subset from ``REPRO_GRAPHS``, validated against Table III.
+
+    A typo'd graph name used to surface minutes later as a KeyError deep
+    inside ``datasets.load``; fail fast here instead, listing the valid
+    names.
+    """
     raw = os.environ.get("REPRO_GRAPHS", "")
     if not raw:
         return tuple(graph_names())
-    return tuple(name.strip() for name in raw.split(",") if name.strip())
+    names = tuple(name.strip() for name in raw.split(",") if name.strip())
+    valid = tuple(graph_names())
+    unknown = [name for name in names if name not in valid]
+    if unknown:
+        raise SystemExit(
+            f"REPRO_GRAPHS names unknown graph(s) {unknown!r}; "
+            f"valid names: {', '.join(valid)}"
+        )
+    return names
 
 
 def report(experiment_id: str, title: str,
            rows: List[Dict[str, object]],
            notes: str = "") -> None:
-    """Print the experiment's rows and persist them under results/."""
+    """Print the experiment's rows and persist them under results/.
+
+    When an artifact store is active (``REPRO_ARTIFACTS_DIR``), the
+    saved report records its hit/miss counters so a reader can tell a
+    warm-cache timing from a cold one.
+    """
+    store = get_store()
+    if store is not None:
+        stats = store.stats()
+        notes = (notes + "\n" if notes else "") + (
+            f"artifact cache: {stats['hits']} hits / "
+            f"{stats['misses']} misses / {stats['writes']} writes "
+            f"({stats['root']})"
+        )
     table = format_table(rows, f"{experiment_id}: {title} "
                                f"[scale={get_scale()}]")
     text = table + ("\n\n" + notes if notes else "") + "\n"

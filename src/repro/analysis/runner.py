@@ -24,11 +24,13 @@ from .findings import Finding, format_findings
 from .hotpath import DEFAULT_REPLAY_PATH, check_hot_paths
 from .kernelcov import check_kernels
 from .registry_drift import check_registry
+from .speccov import check_spec_coverage
 
 __all__ = ["SimlintConfig", "run_simlint", "main", "KNOWN_RULES"]
 
 RULE_FAMILIES = (
     "policy", "determinism", "hotpath", "registry", "kernels", "abi",
+    "spec-coverage",
 )
 
 #: Every rule id a suppression pragma may legally name. Pragmas naming
@@ -55,6 +57,8 @@ KNOWN_RULES = frozenset(
         "registry-unreachable",
         "kernel-popt-coverage",
         "kernel-resolve",
+        "spec-coverage-unregistered",
+        "spec-coverage-registry",
     )
     + ABI_RULES
     + RULE_FAMILIES
@@ -153,6 +157,8 @@ def run_simlint(
         findings.extend(check_kernels(modules))
     if "abi" in families:
         findings.extend(check_abi(modules, set(KNOWN_RULES)))
+    if "spec-coverage" in families:
+        findings.extend(check_spec_coverage(modules))
     # Overlapping scope walks may observe one site twice.
     return sorted(set(findings), key=lambda f: (f.path, f.line, f.rule))
 

@@ -1,0 +1,101 @@
+"""Declarative-spec coverage of the figure harnesses (family
+``spec-coverage``).
+
+The spec layer (:mod:`repro.sim.spec`) exists so that axis sweeps are
+declared once and executed by the unified parallel runner instead of
+being hand-rolled per figure. That only holds if new harnesses keep
+using it, so:
+
+- ``spec-coverage-unregistered`` — every top-level ``figNN_*`` /
+  ``tableN_*`` function in the real ``sim/experiments.py`` must either
+  appear in ``repro.sim.spec.SPEC_HARNESSES`` (i.e. be backed by a
+  registered spec factory) or carry an explicit
+  ``# simlint: allow[spec-coverage]`` pragma stating why it stays
+  hand-rolled (per-policy contexts, wall-clock measurement, ...).
+- ``spec-coverage-registry`` — every ``SPEC_HARNESSES`` key except the
+  standalone specs (``scenario_matrix``) must name a function that still
+  exists in ``sim/experiments.py``; a renamed or deleted harness
+  otherwise leaves a dangling registration that looks like coverage.
+
+Like the registry and kernel rules, these import the *installed*
+``repro.sim.spec`` rather than re-parsing it — the registry decorator
+is the source of truth — and run only when the scanned set contains the
+real ``sim/experiments.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional
+
+from .astutil import SourceModule, pragma_allows
+from .findings import Finding
+
+__all__ = ["check_spec_coverage", "experiments_module_scanned"]
+
+#: Harness naming convention the coverage rule keys on.
+_HARNESS_NAME = re.compile(r"^(fig\d+\w*|table\d+\w*)$")
+
+#: Registry entries that are standalone specs, not harness wrappers.
+_STANDALONE_SPECS = frozenset({"scenario_matrix"})
+
+
+def experiments_module_scanned(
+    modules: List[SourceModule],
+) -> Optional[SourceModule]:
+    for module in modules:
+        parts = module.path.parts
+        if (
+            module.path.name == "experiments.py"
+            and len(parts) >= 2
+            and parts[-2] == "sim"
+        ):
+            return module
+    return None
+
+
+def check_spec_coverage(modules: List[SourceModule]) -> List[Finding]:
+    findings: List[Finding] = []
+    module = experiments_module_scanned(modules)
+    if module is None:
+        return findings
+
+    from ..sim.spec import SPEC_HARNESSES
+
+    harnesses = {
+        node.name: node
+        for node in module.tree.body
+        if isinstance(node, ast.FunctionDef)
+        and _HARNESS_NAME.match(node.name)
+    }
+
+    for name, node in sorted(harnesses.items()):
+        if name in SPEC_HARNESSES:
+            continue
+        if pragma_allows(
+            module, "spec-coverage-unregistered", node.lineno
+        ):
+            continue
+        findings.append(Finding(
+            rule="spec-coverage-unregistered",
+            path=module.display_path,
+            line=node.lineno,
+            message=f"harness {name} is neither backed by a registered "
+                    "declarative spec (repro.sim.spec.SPEC_HARNESSES) "
+                    "nor marked # simlint: allow[spec-coverage]; "
+                    "hand-rolled sweep loops bypass the unified runner",
+        ))
+
+    for name in sorted(SPEC_HARNESSES):
+        if name in _STANDALONE_SPECS or name in harnesses:
+            continue
+        findings.append(Finding(
+            rule="spec-coverage-registry",
+            path=module.display_path,
+            line=1,
+            message=f"SPEC_HARNESSES registers {name!r}, but "
+                    "sim/experiments.py defines no such harness — "
+                    "stale registration (renamed or deleted function?)",
+        ))
+    return findings

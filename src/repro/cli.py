@@ -5,6 +5,9 @@ Commands:
 - ``run``        simulate one (app, graph, policy) combination
 - ``compare``    sweep several policies over one prepared run
 - ``experiment`` regenerate a paper figure/table by ID
+- ``matrix``     run the scenario-matrix spec (techniques x policies
+  x graphs x LLC sizes), streaming rows; resumable via the artifact
+  store
 - ``tables``     print the paper's setup tables (I-III)
 - ``graphs``     list the Table III graph stand-ins with their stats
 
@@ -14,6 +17,7 @@ Examples::
     python -m repro compare --app CC --graph DBP \
         --policies LRU,DRRIP,P-OPT,T-OPT
     python -m repro experiment fig07 --scale small
+    python -m repro matrix --scale tiny --jobs 4 --artifacts build/arts
     python -m repro tables
 """
 
@@ -21,13 +25,16 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
 from typing import Dict, List
 
 from .cache import scaled_hierarchy
 from .graph import datasets, degree_stats
 from .sim import experiments, prepare_run, simulate_prepared
-from .sim.parallel import APP_FACTORIES, SweepTask, run_sweep
+from .sim import artifacts as artifacts_module
+from .sim.parallel import APP_FACTORIES
+from .sim.spec import ExperimentSpec, run_spec, scenario_matrix
 from .sim.tables import format_table, table1_rows, table2_rows, table3_rows
 
 __all__ = ["main", "APP_FACTORIES"]
@@ -116,6 +123,39 @@ def _build_parser() -> argparse.ArgumentParser:
              "in parallel (others run serially regardless)",
     )
 
+    matrix = sub.add_parser(
+        "matrix",
+        help="run the scenario-matrix spec (technique x policy x "
+             "graph x LLC size)",
+    )
+    matrix.add_argument(
+        "--scale", choices=sorted(datasets.SCALES), default="small"
+    )
+    matrix.add_argument(
+        "--graphs", default="",
+        help="comma-separated graph subset (default: all stand-ins)",
+    )
+    matrix.add_argument(
+        "--techniques", default="",
+        help="comma-separated software-technique subset "
+             "(default: none,tiling:4,pb,phi,hats)",
+    )
+    matrix.add_argument("--seed", type=int, default=42)
+    matrix.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (results identical for any value)",
+    )
+    matrix.add_argument(
+        "--artifacts", default="",
+        help="artifact-store directory; reruns reuse cached traces, "
+             "filters and rows, making interrupted runs resumable",
+    )
+    matrix.add_argument(
+        "--out", default="",
+        help="stream rows to this file as JSON lines while running "
+             "(default: print a table at the end only)",
+    )
+
     sub.add_parser("tables", help="print paper tables I-III")
     graphs = sub.add_parser("graphs", help="list graph stand-ins")
     graphs.add_argument(
@@ -153,17 +193,16 @@ def _cmd_compare(args) -> int:
         print("note: --sanitize forces --jobs 1 (sweep-wide invariants)")
         jobs = 1
     if jobs > 1:
-        tasks = [
-            SweepTask(
-                graph=args.graph,
-                app=args.app,
-                policies=(name,),
-                scale=args.scale,
-                seed=args.seed,
-            )
-            for name in names
-        ]
-        stat_rows = run_sweep(tasks, jobs=jobs)
+        spec = ExperimentSpec(
+            name="compare",
+            graphs=(args.graph,),
+            apps=(args.app,),
+            policies=tuple(names),
+            scale=args.scale,
+            seed=args.seed,
+            chunk_size=1,
+        )
+        stat_rows = run_spec(spec, jobs=jobs)
         baseline_cycles = float(stat_rows[0]["cycles"])
         rows: List[Dict[str, object]] = [
             {
@@ -223,6 +262,51 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_matrix(args) -> int:
+    kwargs = {"scale": args.scale, "seed": args.seed}
+    if args.graphs.strip():
+        kwargs["graphs"] = tuple(
+            name.strip() for name in args.graphs.split(",") if name.strip()
+        )
+    if args.techniques.strip():
+        kwargs["techniques"] = tuple(
+            t.strip() for t in args.techniques.split(",") if t.strip()
+        )
+    spec = scenario_matrix(**kwargs)
+    if args.artifacts:
+        artifacts_module.configure(args.artifacts)
+    print(
+        f"scenario_matrix [scale={args.scale}]: "
+        f"{len(spec.expand())} units, plan {spec.plan_digest()[:12]}"
+    )
+
+    sink = open(args.out, "w") if args.out else None
+    try:
+        def stream(row):
+            if sink is not None:
+                sink.write(json.dumps(row) + "\n")
+                sink.flush()
+
+        rows = run_spec(spec, jobs=max(1, args.jobs), stream=stream)
+    finally:
+        if sink is not None:
+            sink.close()
+
+    if args.out:
+        print(f"wrote {len(rows)} rows to {args.out}")
+    else:
+        print(format_table(rows, f"scenario_matrix [scale={args.scale}]"))
+    if args.artifacts:
+        stats = artifacts_module.get_store().stats()
+        parts = [
+            f"{kind}: {s.get('hits', 0)} hit / {s.get('misses', 0)} miss"
+            for kind, s in sorted(stats["by_kind"].items())
+            if any(s.values())
+        ]
+        print("artifact cache: " + ("; ".join(parts) or "unused"))
+    return 0
+
+
 def _cmd_tables(args) -> int:
     print(format_table(table1_rows(), "Table I: simulation parameters"))
     print()
@@ -249,6 +333,7 @@ def main(argv=None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
+        "matrix": _cmd_matrix,
         "tables": _cmd_tables,
         "graphs": _cmd_graphs,
     }[args.command]

@@ -129,6 +129,27 @@ class AddressSpace:
         self._cursor += lines * self.line_size
         return span
 
+    @classmethod
+    def from_spans(
+        cls, spans: "List[ArraySpan]", line_size: int = 64
+    ) -> "AddressSpace":
+        """Reconstruct a layout from already-placed spans.
+
+        Used when reloading a serialized run: spans keep their recorded
+        base addresses (no re-allocation), and the cursor lands past the
+        highest span so further ``alloc`` calls stay collision-free.
+        """
+        space = cls(line_size=line_size)
+        cursor = space._cursor
+        for span in spans:
+            if span.name in space._spans:
+                raise LayoutError(f"array {span.name!r} already allocated")
+            space._spans[span.name] = span
+            end = span.base + max(1, span.num_lines) * line_size
+            cursor = max(cursor, end)
+        space._cursor = cursor
+        return space
+
     def __getitem__(self, name: str) -> ArraySpan:
         try:
             return self._spans[name]

@@ -32,8 +32,8 @@ from ..memory.trace import decode_trace
 from ..policies.registry import PolicyContext, make_policy
 from ..popt.arch import reserved_ways
 from ..popt.policy import POPT, PoptStream
-from ..popt.rereference import build_rereference_matrix
 from ..popt.topt import TOPT
+from . import artifacts
 from .engine import ReplayEngine, llc_visible_next_use
 from .timing import TimingModel
 
@@ -161,7 +161,7 @@ def _build_popt_policy(
     start = time.perf_counter()  # simlint: allow[determinism-time]
     streams = []
     for irregular in prepared.irregular_streams:
-        matrix = build_rereference_matrix(
+        matrix = artifacts.rereference_matrix_for(
             irregular.reference_graph,
             elems_per_line=irregular.span.elems_per_line,
             entry_bits=entry_bits,

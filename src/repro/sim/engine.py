@@ -51,6 +51,7 @@ from ..cache.config import CacheConfig, HierarchyConfig
 from ..cache.stats import CacheStats
 from ..errors import SimulationError
 from ..memory.trace import MemoryTrace, decode_trace
+from . import artifacts
 from .kernels import KernelRequest, replay_bit_plru_stream, resolve_kernel
 
 __all__ = [
@@ -331,9 +332,18 @@ def get_private_filter(
     if cached is not None:
         prepared.filter_counters["reused"] += 1
         return cached
+    store = artifacts.get_store()
+    if store is not None:
+        loaded = artifacts.cached_filter(store, prepared.trace, config)
+        if loaded is not None:
+            prepared.private_filters[key] = loaded
+            prepared.filter_counters["reused"] += 1
+            return loaded
     built = build_private_filter(prepared.trace, config)
     prepared.private_filters[key] = built
     prepared.filter_counters["built"] += 1
+    if store is not None:
+        artifacts.store_filter(store, prepared.trace, config, built)
     return built
 
 

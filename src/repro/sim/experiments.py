@@ -5,6 +5,15 @@ Every function returns a list of plain-dict rows (printable with
 EXPERIMENTS.md all consume the same code path. Graph/cache scale defaults
 to the ``small`` profile; pass ``scale="medium"``/``"large"`` for
 higher-fidelity runs.
+
+The axis-sweep figures (fig02/04/10/13/14/16) are thin wrappers over
+declarative specs (:mod:`repro.sim.spec`) executed by the unified
+parallel runner — their rows are bit-identical to the pre-spec
+hand-rolled versions (``tests/sim/test_spec.py`` pins them to golden
+rows) and all accept ``jobs``. Harnesses that genuinely cannot be a
+policy sweep (per-policy contexts, wall-clock measurement, non-standard
+replay options) stay hand-rolled and carry a
+``simlint: allow[spec-coverage]`` pragma.
 """
 
 from __future__ import annotations
@@ -13,18 +22,9 @@ import statistics
 import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from ..apps import (
-    ConnectedComponents,
-    MaximalIndependentSet,
-    PageRank,
-    PageRankDelta,
-    PropagationBlockingBinning,
-    Radii,
-    bdfs_order,
-)
+from ..apps import PageRank, bdfs_order
 from ..apps.pagerank import pagerank_reference
-from ..apps.tiled_pagerank import TiledPageRank
-from ..cache.config import CacheConfig, HierarchyConfig, scaled_hierarchy
+from ..cache.config import scaled_hierarchy
 from ..graph import datasets
 from ..policies.registry import PolicyContext
 from ..popt.rereference import build_rereference_matrix
@@ -34,7 +34,18 @@ from .driver import (
     prepare_run,
     simulate_prepared,
 )
-from .parallel import sweep_rows
+from . import spec as spec_module
+from .spec import (
+    PHI_CACHE_SCALE,
+    fig02_spec,
+    fig04_spec,
+    fig10_spec,
+    fig13_spec,
+    fig14_spec,
+    fig16_spec,
+    report_rows,
+    run_spec,
+)
 
 __all__ = [
     "engine_throughput_sweep",
@@ -57,7 +68,7 @@ __all__ = [
 
 DEFAULT_GRAPHS = tuple(datasets.graph_names())
 
-FIG2_POLICIES = ("LRU", "DRRIP", "SHiP-PC", "SHiP-Mem", "Hawkeye")
+FIG2_POLICIES = spec_module.FIG2_POLICIES
 
 
 def geomean(values: Iterable[float]) -> float:
@@ -68,28 +79,9 @@ def geomean(values: Iterable[float]) -> float:
     return statistics.geometric_mean(values)
 
 
-def _mpki_rows(
-    policies: Sequence[str],
-    graphs: Sequence[str],
-    scale: str,
-    seed: int,
-    jobs: int = 1,
-) -> List[Dict[str, object]]:
-    flat = sweep_rows(
-        graphs, policies, apps=("PR",), scale=scale, seed=seed, jobs=jobs
-    )
-    by_graph: Dict[str, Dict[str, object]] = {}
-    rows = []
-    for graph_name in graphs:
-        row: Dict[str, object] = {"graph": graph_name}
-        by_graph[graph_name] = row
-        rows.append(row)
-    for item in flat:
-        row = by_graph[item["graph"]]
-        policy = item["policy"]
-        row[policy] = round(float(item["llc_mpki"]), 2)
-        row[f"{policy}_missrate"] = round(float(item["llc_miss_rate"]), 3)
-    return rows
+def _run_reported(spec, jobs: int = 1) -> List[Dict[str, object]]:
+    """Execute a spec and derive its figure rows (spec-backed figures)."""
+    return report_rows(spec, run_spec(spec, jobs=jobs))
 
 
 ENGINE_SWEEP_POLICIES = ("LRU", "DRRIP", "SHiP-PC", "Hawkeye")
@@ -291,7 +283,9 @@ def fig02_sota_mpki(
     process pool (see :mod:`repro.sim.parallel`); output is identical
     for any value.
     """
-    return _mpki_rows(FIG2_POLICIES, graphs, scale, seed, jobs=jobs)
+    return _run_reported(
+        fig02_spec(scale=scale, graphs=graphs, seed=seed), jobs=jobs
+    )
 
 
 def fig04_topt_mpki(
@@ -305,11 +299,13 @@ def fig04_topt_mpki(
     Paper shape: T-OPT reduces misses ~1.67x vs LRU (41% vs 60-70% miss
     rate).
     """
-    return _mpki_rows(
-        FIG2_POLICIES + ("T-OPT",), graphs, scale, seed, jobs=jobs
+    return _run_reported(
+        fig04_spec(scale=scale, graphs=graphs, seed=seed), jobs=jobs
     )
 
 
+# Hand-rolled on purpose: RM-variant comparison shares one baseline result per graph.
+# simlint: allow[spec-coverage]
 def fig07_rereference_designs(
     scale: str = "small",
     graphs: Sequence[str] = DEFAULT_GRAPHS,
@@ -338,65 +334,37 @@ def fig07_rereference_designs(
     return rows
 
 
-def _paper_apps() -> List[object]:
-    return [
-        PageRank(),
-        ConnectedComponents(),
-        PageRankDelta(),
-        Radii(),
-        MaximalIndependentSet(),
-    ]
-
-
 def fig10_main_result(
     scale: str = "small",
     graphs: Sequence[str] = DEFAULT_GRAPHS,
     seed: int = 42,
     apps: Optional[Sequence[object]] = None,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
     """Fig. 10: speedups and LLC miss reductions for P-OPT and T-OPT.
 
     Rows hold speedups over both LRU and DRRIP plus miss reductions vs
     DRRIP, one row per (app, graph). Radii skips HBUBL like the paper
-    (its diameter keeps Radii push-only there). Paper shape: P-OPT ~22%
-    mean speedup and ~24% miss cut vs DRRIP, within ~12% of T-OPT; gains
+    (its diameter keeps Radii push-only there), and (app, graph) pairs
+    whose trace is empty are dropped. Paper shape: P-OPT ~22% mean
+    speedup and ~24% miss cut vs DRRIP, within ~12% of T-OPT; gains
     smallest on KRON.
+
+    ``apps`` accepts app names or app instances (``app.info.name``).
     """
-    hierarchy = scaled_hierarchy(scale)
-    rows = []
-    for app in apps if apps is not None else _paper_apps():
-        for graph_name in graphs:
-            if app.info.name == "Radii" and graph_name == "HBUBL":
-                continue
-            graph = datasets.load(graph_name, scale=scale, seed=seed)
-            prepared = prepare_run(app, graph)
-            if len(prepared.trace) == 0:
-                continue
-            lru = simulate_prepared(prepared, "LRU", hierarchy)
-            drrip = simulate_prepared(prepared, "DRRIP", hierarchy)
-            row: Dict[str, object] = {
-                "app": app.info.name,
-                "graph": graph_name,
-                "DRRIP_speedup_vs_LRU": round(drrip.speedup_over(lru), 3),
-            }
-            for policy in ("P-OPT", "T-OPT"):
-                result = simulate_prepared(prepared, policy, hierarchy)
-                row[f"{policy}_speedup_vs_LRU"] = round(
-                    result.speedup_over(lru), 3
-                )
-                row[f"{policy}_speedup_vs_DRRIP"] = round(
-                    result.speedup_over(drrip), 3
-                )
-                row[f"{policy}_missred_vs_DRRIP"] = round(
-                    result.miss_reduction_over(drrip), 3
-                )
-                row[f"{policy}_missred_vs_LRU"] = round(
-                    result.miss_reduction_over(lru), 3
-                )
-            rows.append(row)
-    return rows
+    app_names = None
+    if apps is not None:
+        app_names = tuple(
+            app if isinstance(app, str) else app.info.name for app in apps
+        )
+    return _run_reported(
+        fig10_spec(scale=scale, graphs=graphs, seed=seed, apps=app_names),
+        jobs=jobs,
+    )
 
 
+# Hand-rolled on purpose: sweeps synthetic vertex counts, not a named-graph axis.
+# simlint: allow[spec-coverage]
 def fig11_popt_se_scaling(
     vertex_counts: Sequence[int] = (4096, 16384, 65536, 131072),
     scale: str = "small",
@@ -430,6 +398,8 @@ def fig11_popt_se_scaling(
     return rows
 
 
+# Hand-rolled on purpose: GRASP needs per-run PolicyContext hot/warm ranges.
+# simlint: allow[spec-coverage]
 def fig12a_grasp(
     scale: str = "small",
     graphs: Sequence[str] = DEFAULT_GRAPHS + ("GPL",),
@@ -468,6 +438,8 @@ def fig12a_grasp(
     return rows
 
 
+# Hand-rolled on purpose: compares two prepared runs (BDFS order) per row.
+# simlint: allow[spec-coverage]
 def fig12b_hats(
     scale: str = "small",
     graphs: Sequence[str] = DEFAULT_GRAPHS + ("ARAB",),
@@ -507,44 +479,30 @@ def fig13_tiling(
     graphs: Sequence[str] = ("URAND64", "KRON"),
     tile_counts: Sequence[int] = (1, 2, 4, 8),
     seed: int = 42,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
     """Fig. 13: CSR-segmenting x {DRRIP, P-OPT}, misses normalized to
     untiled DRRIP.
 
     Paper shape: tiling improves both; P-OPT reaches a given miss level
     with ~5x fewer tiles (P-OPT at 2 tiles ~= DRRIP at 10 on URAND).
+
+    The untiled (``tiles=1``) DRRIP point is the normalization baseline;
+    the spec carries tiling as the ``tiling:N`` software technique.
     """
-    hierarchy = scaled_hierarchy(scale)
-    rows = []
-    for graph_name in graphs:
-        graph = datasets.load(graph_name, scale=scale, seed=seed)
-        untiled = prepare_run(PageRank(), graph)
-        reference = simulate_prepared(untiled, "DRRIP", hierarchy)
-        for tiles in tile_counts:
-            app = PageRank() if tiles == 1 else TiledPageRank(tiles)
-            prepared = untiled if tiles == 1 else prepare_run(app, graph)
-            row: Dict[str, object] = {"graph": graph_name, "tiles": tiles}
-            for policy in ("DRRIP", "P-OPT"):
-                result = simulate_prepared(prepared, policy, hierarchy)
-                row[f"{policy}_norm_misses"] = round(
-                    result.llc.misses / max(reference.llc.misses, 1), 3
-                )
-            rows.append(row)
-    return rows
-
-
-PHI_CACHE_SCALE = {
-    "tiny": "small",
-    "small": "medium",
-    "medium": "large",
-    "large": "large",
-}
+    return _run_reported(
+        fig13_spec(
+            scale=scale, graphs=graphs, tile_counts=tile_counts, seed=seed
+        ),
+        jobs=jobs,
+    )
 
 
 def fig14_pb_phi(
     scale: str = "small",
     graphs: Sequence[str] = DEFAULT_GRAPHS,
     seed: int = 42,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
     """Fig. 14: PB and PHI under DRRIP and P-OPT (binning phase).
 
@@ -556,27 +514,17 @@ def fig14_pb_phi(
     PHI's regime requires the destination accumulators to be comparable
     to the LLC (the paper holds ~8 MB of accumulators against a 24 MiB
     LLC), so this experiment pairs the graphs with the cache profile that
-    restores that ratio: in-cache aggregation is meaningless when the
-    accumulator dwarfs the cache.
+    restores that ratio (:data:`repro.sim.spec.PHI_CACHE_SCALE`, the
+    spec's ``cache_scale``): in-cache aggregation is meaningless when
+    the accumulator dwarfs the cache.
     """
-    hierarchy = scaled_hierarchy(PHI_CACHE_SCALE.get(scale, scale))
-    rows = []
-    for graph_name in graphs:
-        graph = datasets.load(graph_name, scale=scale, seed=seed)
-        pb = prepare_run(PropagationBlockingBinning(phi=False), graph)
-        phi = prepare_run(PropagationBlockingBinning(phi=True), graph)
-        reference = simulate_prepared(pb, "DRRIP", hierarchy)
-        row: Dict[str, object] = {"graph": graph_name}
-        for prepared, mechanism in ((pb, "PB"), (phi, "PHI")):
-            for policy in ("DRRIP", "P-OPT"):
-                result = simulate_prepared(prepared, policy, hierarchy)
-                row[f"{mechanism}+{policy}"] = round(
-                    result.llc.misses / max(reference.llc.misses, 1), 3
-                )
-        rows.append(row)
-    return rows
+    return _run_reported(
+        fig14_spec(scale=scale, graphs=graphs, seed=seed), jobs=jobs
+    )
 
 
+# Hand-rolled on purpose: per-policy entry_bits/account_capacity replay options.
+# simlint: allow[spec-coverage]
 def fig15_quantization(
     scale: str = "small",
     graphs: Sequence[str] = DEFAULT_GRAPHS,
@@ -623,64 +571,30 @@ def fig16_llc_sensitivity(
     set_counts: Sequence[int] = (8, 16, 32, 64),
     way_counts: Sequence[int] = (8, 16, 32),
     seed: int = 42,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
     """Fig. 16: sensitivity to LLC capacity and associativity.
 
     Paper shape: P-OPT's miss reduction over DRRIP grows with capacity
     (the RM reservation amortizes) and with associativity (more eviction
-    candidates to choose among).
+    candidates to choose among). The capacity and associativity sweeps
+    are the spec's LLC-geometry axis (labeled points over the scale's
+    base hierarchy).
     """
-    base = scaled_hierarchy(scale)
-    rows = []
-
-    def hierarchy_with(llc_sets: int, llc_ways: int) -> HierarchyConfig:
-        return HierarchyConfig(
-            l1=base.l1,
-            l2=base.l2,
-            llc=CacheConfig(
-                "LLC",
-                num_sets=llc_sets,
-                num_ways=llc_ways,
-                load_to_use_cycles=base.llc.load_to_use_cycles,
-            ),
-        )
-
-    for graph_name in graphs:
-        graph = datasets.load(graph_name, scale=scale, seed=seed)
-        prepared = prepare_run(PageRank(), graph)
-        for llc_sets in set_counts:
-            hierarchy = hierarchy_with(llc_sets, base.llc.num_ways)
-            drrip = simulate_prepared(prepared, "DRRIP", hierarchy)
-            popt = simulate_prepared(prepared, "P-OPT", hierarchy)
-            rows.append(
-                {
-                    "graph": graph_name,
-                    "sweep": "capacity",
-                    "llc_kib": llc_sets * base.llc.num_ways * 64 // 1024,
-                    "ways": base.llc.num_ways,
-                    "P-OPT_missred": round(
-                        popt.miss_reduction_over(drrip), 3
-                    ),
-                }
-            )
-        for llc_ways in way_counts:
-            hierarchy = hierarchy_with(base.llc.num_sets, llc_ways)
-            drrip = simulate_prepared(prepared, "DRRIP", hierarchy)
-            popt = simulate_prepared(prepared, "P-OPT", hierarchy)
-            rows.append(
-                {
-                    "graph": graph_name,
-                    "sweep": "associativity",
-                    "llc_kib": base.llc.num_sets * llc_ways * 64 // 1024,
-                    "ways": llc_ways,
-                    "P-OPT_missred": round(
-                        popt.miss_reduction_over(drrip), 3
-                    ),
-                }
-            )
-    return rows
+    return _run_reported(
+        fig16_spec(
+            scale=scale,
+            graphs=graphs,
+            set_counts=set_counts,
+            way_counts=way_counts,
+            seed=seed,
+        ),
+        jobs=jobs,
+    )
 
 
+# Hand-rolled on purpose: wall-clock measurement, not a policy sweep.
+# simlint: allow[spec-coverage]
 def table4_preprocessing(
     scale: str = "small",
     graphs: Sequence[str] = DEFAULT_GRAPHS,

@@ -29,21 +29,27 @@ default shape.
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import apps as apps_module
-from ..cache.config import scaled_hierarchy
+from ..cache.config import CacheConfig, HierarchyConfig, scaled_hierarchy
 from ..graph import datasets
-from .driver import prepare_run, simulate_prepared
+from . import artifacts
+from .driver import prepare_dbg_run, prepare_run, simulate_prepared
 
 __all__ = [
     "APP_FACTORIES",
+    "TECHNIQUES",
     "SweepTask",
     "policy_chunks",
     "run_sweep",
     "sweep_rows",
+    "task_hierarchy",
+    "validate_technique",
 ]
 
 #: App name -> zero-argument factory (shared with the CLI).
@@ -59,12 +65,45 @@ APP_FACTORIES = {
 }
 
 
+#: Software locality techniques a task can apply before tracing.
+#: Parameterized entries take a ``name:N`` suffix (``tiling:4``,
+#: ``dbg:8``); ``pb``/``phi`` select propagation blocking without/with
+#: the PHI hardware assist, ``hats`` traces under a BDFS traversal
+#: order, and ``none`` runs the app as declared.
+TECHNIQUES = ("none", "tiling", "pb", "phi", "dbg", "hats")
+
+
+def validate_technique(technique: str) -> str:
+    """Check a technique string; returns it, raises ValueError if bad."""
+    base = technique.split(":", 1)[0]
+    if base not in TECHNIQUES:
+        raise ValueError(
+            f"unknown software technique {technique!r}; "
+            f"expected one of {TECHNIQUES}"
+        )
+    if ":" in technique:
+        if base not in ("tiling", "dbg"):
+            raise ValueError(f"technique {base!r} takes no parameter")
+        suffix = technique.split(":", 1)[1]
+        if not suffix.isdigit() or int(suffix) < 1:
+            raise ValueError(
+                f"technique {technique!r} needs a positive integer suffix"
+            )
+    return technique
+
+
 @dataclass(frozen=True)
 class SweepTask:
     """One unit of sweep work: a few policies on one (app, graph) run.
 
     Carries only names and small scalars so pickling it to a worker is
     cheap; the worker materializes (and caches) the heavy state.
+
+    ``technique`` applies a software locality scheme before tracing
+    (see :data:`TECHNIQUES`); ``llc`` overrides the LLC geometry as
+    ``(num_sets, num_ways)`` on top of the hierarchy implied by
+    ``cache_scale or scale``, with ``llc_label`` naming the point for
+    reporting.
     """
 
     graph: str
@@ -74,9 +113,40 @@ class SweepTask:
     seed: int = 42
     engine: str = "fast"
     params: Tuple[Tuple[str, object], ...] = field(default_factory=tuple)
+    technique: str = "none"
+    llc: Optional[Tuple[int, int]] = None
+    llc_label: str = ""
+    cache_scale: str = ""
 
     def prepare_key(self) -> Tuple[object, ...]:
-        return (self.app, self.graph, self.scale, self.seed, self.params)
+        return (
+            self.app, self.graph, self.scale, self.seed,
+            self.technique, self.params,
+        )
+
+    def artifact_key(self) -> Dict[str, object]:
+        """JSON-able provenance of the prepared run (store key)."""
+        return {
+            "app": self.app,
+            "graph": self.graph,
+            "scale": self.scale,
+            "seed": self.seed,
+            "technique": self.technique,
+            "params": [[name, value] for name, value in self.params],
+        }
+
+    def rows_key(self) -> Dict[str, object]:
+        """Full unit identity: prepared-run provenance + replay config."""
+        key = self.artifact_key()
+        key.update(
+            {
+                "policies": list(self.policies),
+                "engine": self.engine,
+                "llc": list(self.llc) if self.llc else None,
+                "cache_scale": self.cache_scale,
+            }
+        )
+        return key
 
 
 def policy_chunks(
@@ -91,33 +161,148 @@ def policy_chunks(
     ]
 
 
-# Per-process prepared-run cache. In a worker this persists across all
-# tasks the pool hands it; in the parent (serial path) it plays the same
-# role. PreparedRun hosts the decoded-trace/filter/partition caches, so
-# reusing one across tasks is what makes chunked sweeps fast.
-_PREPARED_CACHE: Dict[Tuple[object, ...], object] = {}
+# Per-process prepared-run cache, LRU-bounded so long multi-geometry
+# sweeps don't grow worker RSS without limit. In a worker this persists
+# across all tasks the pool hands it; in the parent (serial path) it
+# plays the same role. PreparedRun hosts the decoded-trace/filter/
+# partition caches, so reusing one across tasks is what makes chunked
+# sweeps fast — the bound only matters once a sweep touches more
+# (app, graph, technique) combinations than fit.
+_PREPARED_CACHE: "OrderedDict[Tuple[object, ...], object]" = OrderedDict()
+
+#: Override the per-process prepared-run cache bound (entries).
+PREPARED_CACHE_ENV = "REPRO_PREPARED_CACHE"
+DEFAULT_PREPARED_CACHE_SIZE = 8
+
+
+def _prepared_cache_cap() -> int:
+    raw = os.environ.get(PREPARED_CACHE_ENV, "")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return DEFAULT_PREPARED_CACHE_SIZE
+
+
+def _load_graph(task: SweepTask):
+    store = artifacts.get_store()
+    if store is not None:
+        cached = artifacts.cached_graph(
+            store, task.graph, task.scale, task.seed
+        )
+        if cached is not None:
+            return cached
+    graph = datasets.load(task.graph, scale=task.scale, seed=task.seed)
+    if store is not None:
+        artifacts.store_graph(store, task.graph, task.scale, task.seed, graph)
+    return graph
+
+
+def _build_prepared(task: SweepTask):
+    """Trace the task's app under its software technique."""
+    validate_technique(task.technique)
+    graph = _load_graph(task)
+    params = dict(task.params)
+    technique, _, arg = task.technique.partition(":")
+    if technique == "none":
+        return prepare_run(APP_FACTORIES[task.app](), graph, **params)
+    if technique == "tiling":
+        tiles = int(arg or 4)
+        # tiles=1 is the untiled baseline point of a tiling sweep.
+        app = (
+            apps_module.PageRank() if tiles == 1
+            else apps_module.TiledPageRank(tiles)
+        )
+        return prepare_run(app, graph, **params)
+    if technique in ("pb", "phi"):
+        app = apps_module.PropagationBlockingBinning(
+            phi=technique == "phi"
+        )
+        return prepare_run(app, graph, **params)
+    if technique == "dbg":
+        prepared, _layout = prepare_dbg_run(
+            APP_FACTORIES[task.app](), graph,
+            num_groups=int(arg or 8), **params,
+        )
+        return prepared
+    # "hats": same kernel, BDFS traversal order, baseline replacement.
+    order = apps_module.bdfs_order(graph.transpose())
+    return prepare_run(
+        APP_FACTORIES[task.app](), graph, order=order, **params
+    )
 
 
 def _prepared_for(task: SweepTask):
     key = task.prepare_key()
     prepared = _PREPARED_CACHE.get(key)
+    if prepared is not None:
+        _PREPARED_CACHE.move_to_end(key)
+        return prepared
+    store = artifacts.get_store()
+    if store is not None:
+        prepared = artifacts.cached_prepared(store, task.artifact_key())
     if prepared is None:
-        graph = datasets.load(task.graph, scale=task.scale, seed=task.seed)
-        prepared = prepare_run(
-            APP_FACTORIES[task.app](), graph, **dict(task.params)
-        )
-        _PREPARED_CACHE[key] = prepared
+        prepared = _build_prepared(task)
+        if store is not None:
+            artifacts.store_prepared(store, task.artifact_key(), prepared)
+    _PREPARED_CACHE[key] = prepared
+    while len(_PREPARED_CACHE) > _prepared_cache_cap():
+        _PREPARED_CACHE.popitem(last=False)
     return prepared
+
+
+def task_hierarchy(task: SweepTask) -> HierarchyConfig:
+    """The hierarchy a task replays under.
+
+    Private levels come from ``cache_scale or scale``; ``task.llc``
+    (when set) swaps in an explicit LLC geometry, preserving the base
+    LLC's line size and latency — the shape of an LLC sensitivity sweep.
+    """
+    base = scaled_hierarchy(task.cache_scale or task.scale)
+    if task.llc is None:
+        return base
+    num_sets, num_ways = task.llc
+    return HierarchyConfig(
+        llc=CacheConfig(
+            "LLC",
+            num_sets=num_sets,
+            num_ways=num_ways,
+            line_size=base.llc.line_size,
+            load_to_use_cycles=base.llc.load_to_use_cycles,
+        ),
+        l1=base.l1,
+        l2=base.l2,
+        dram_latency_ns=base.dram_latency_ns,
+        frequency_ghz=base.frequency_ghz,
+        num_nuca_banks=base.num_nuca_banks,
+    )
+
+
+#: Set to ``0`` to disable result-row caching (artifact store still
+#: caches graphs/prepared runs/filters/matrices; replays re-run).
+ROWS_ENV = "REPRO_ARTIFACTS_ROWS"
+
+
+def _rows_cache_enabled() -> bool:
+    return os.environ.get(ROWS_ENV, "1") != "0"
 
 
 def run_task(task: SweepTask) -> List[Dict[str, object]]:
     """Simulate every policy in one task; returns plain stat rows.
 
     Rows are primitives only (no SimResult / CacheStats objects), so the
-    return trip through the process pool stays tiny.
+    return trip through the process pool stays tiny. With an artifact
+    store configured, finished rows are cached under the task's full
+    identity — re-running an interrupted sweep replays only the tasks
+    that never finished.
     """
+    store = artifacts.get_store()
+    use_rows = store is not None and _rows_cache_enabled()
+    if use_rows:
+        cached = artifacts.cached_rows(store, task.rows_key())
+        if cached is not None:
+            return cached
     prepared = _prepared_for(task)
-    hierarchy = scaled_hierarchy(task.scale)
+    hierarchy = task_hierarchy(task)
     rows: List[Dict[str, object]] = []
     for policy in task.policies:
         result = simulate_prepared(
@@ -131,6 +316,10 @@ def run_task(task: SweepTask) -> List[Dict[str, object]]:
                 "policy": policy,
                 "scale": task.scale,
                 "seed": task.seed,
+                "technique": task.technique,
+                "llc_label": task.llc_label,
+                "llc_sets": hierarchy.llc.num_sets,
+                "llc_ways": hierarchy.llc.num_ways,
                 "llc_accesses": llc.accesses,
                 "llc_hits": llc.hits,
                 "llc_misses": llc.misses,
@@ -143,6 +332,8 @@ def run_task(task: SweepTask) -> List[Dict[str, object]]:
                 "reserved_ways": result.reserved_llc_ways,
             }
         )
+    if use_rows:
+        artifacts.store_rows(store, task.rows_key(), rows)
     return rows
 
 

@@ -113,3 +113,111 @@ class TestCLIJobs:
         from repro import cli
 
         assert cli.APP_FACTORIES is APP_FACTORIES
+
+
+class TestChunkEdgeCases:
+    def test_empty_policy_list_yields_no_chunks(self):
+        assert policy_chunks([], chunk_size=3) == []
+
+    def test_chunk_size_larger_than_policy_count(self):
+        assert policy_chunks(["LRU", "DRRIP"], chunk_size=8) == [
+            ("LRU", "DRRIP")
+        ]
+
+    def test_sweep_rows_empty_policies(self):
+        assert sweep_rows(["URAND"], [], scale="tiny") == []
+
+    def test_sweep_rows_single_task(self):
+        rows = sweep_rows(
+            ["URAND"], ["LRU"], scale="tiny", jobs=1, chunk_size=8
+        )
+        assert [row["policy"] for row in rows] == ["LRU"]
+        assert rows == sweep_rows(
+            ["URAND"], ["LRU"], scale="tiny", jobs=2, chunk_size=8
+        )
+
+
+class TestPreparedCacheBound:
+    """The per-process prepared-run cache is a bounded LRU (satellite:
+    long multi-geometry sweeps must not grow worker RSS without limit)."""
+
+    def test_cache_evicts_oldest_beyond_cap(self, monkeypatch):
+        from repro.sim import parallel
+
+        before = dict(parallel._PREPARED_CACHE)
+        monkeypatch.setenv(parallel.PREPARED_CACHE_ENV, "2")
+        try:
+            parallel._PREPARED_CACHE.clear()
+            for graph in ("URAND", "KRON", "DBP"):
+                run_task(
+                    SweepTask(graph=graph, policies=("LRU",), scale="tiny")
+                )
+            assert len(parallel._PREPARED_CACHE) == 2
+            cached_graphs = {
+                key[1] for key in parallel._PREPARED_CACHE
+            }
+            # Oldest entry (URAND) evicted, most recent two retained.
+            assert cached_graphs == {"KRON", "DBP"}
+        finally:
+            parallel._PREPARED_CACHE.clear()
+            parallel._PREPARED_CACHE.update(before)
+
+    def test_lru_order_refreshed_on_hit(self, monkeypatch):
+        from repro.sim import parallel
+
+        before = dict(parallel._PREPARED_CACHE)
+        monkeypatch.setenv(parallel.PREPARED_CACHE_ENV, "2")
+        try:
+            parallel._PREPARED_CACHE.clear()
+            run_task(SweepTask(graph="URAND", policies=("LRU",),
+                               scale="tiny"))
+            run_task(SweepTask(graph="KRON", policies=("LRU",),
+                               scale="tiny"))
+            # Touch URAND again: it becomes most-recent, so adding DBP
+            # must evict KRON, not URAND.
+            run_task(SweepTask(graph="URAND", policies=("DRRIP",),
+                               scale="tiny"))
+            run_task(SweepTask(graph="DBP", policies=("LRU",),
+                               scale="tiny"))
+            cached_graphs = {
+                key[1] for key in parallel._PREPARED_CACHE
+            }
+            assert cached_graphs == {"URAND", "DBP"}
+        finally:
+            parallel._PREPARED_CACHE.clear()
+            parallel._PREPARED_CACHE.update(before)
+
+    def test_default_cap_when_env_unset(self, monkeypatch):
+        from repro.sim import parallel
+
+        monkeypatch.delenv(parallel.PREPARED_CACHE_ENV, raising=False)
+        assert parallel._prepared_cache_cap() == (
+            parallel.DEFAULT_PREPARED_CACHE_SIZE
+        )
+        monkeypatch.setenv(parallel.PREPARED_CACHE_ENV, "junk")
+        assert parallel._prepared_cache_cap() == (
+            parallel.DEFAULT_PREPARED_CACHE_SIZE
+        )
+        monkeypatch.setenv(parallel.PREPARED_CACHE_ENV, "0")
+        assert parallel._prepared_cache_cap() == 1
+
+
+class TestTechniqueValidation:
+    def test_known_techniques_pass(self):
+        from repro.sim.parallel import validate_technique
+
+        for technique in ("none", "tiling:4", "pb", "phi", "dbg:8",
+                          "hats"):
+            validate_technique(technique)
+
+    def test_unknown_technique_rejected(self):
+        from repro.sim.parallel import validate_technique
+
+        with pytest.raises(ValueError):
+            validate_technique("blocking")
+        with pytest.raises(ValueError):
+            validate_technique("pb:4")
+        with pytest.raises(ValueError):
+            validate_technique("tiling:0")
+        with pytest.raises(ValueError):
+            validate_technique("tiling:x")

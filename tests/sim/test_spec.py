@@ -1,0 +1,210 @@
+"""Declarative experiment-spec tests.
+
+Three pillars:
+
+- **Golden regression** — the six migrated figure harnesses must emit
+  rows bit-identical (values *and* key order) to fixtures captured from
+  the hand-rolled pre-spec implementations (``tests/sim/golden/``).
+- **Plan determinism** — ``expand()`` and the per-unit content hashes
+  must be stable across processes (and across ``PYTHONHASHSEED``), since
+  artifact keys derive from them.
+- **Execution identity** — ``run_spec(jobs=N)`` equals ``jobs=1``, and
+  reporters are pure functions of the row stream.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.sim import experiments
+from repro.sim.spec import (
+    ExperimentSpec,
+    SPEC_HARNESSES,
+    fig02_spec,
+    fig10_spec,
+    report_rows,
+    run_spec,
+    scenario_matrix,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: harness callable + kwargs matching how each golden fixture was
+#: captured from the pre-spec implementation (all at tiny scale).
+GOLDEN_CASES = {
+    "fig02": (experiments.fig02_sota_mpki,
+              {"scale": "tiny", "graphs": ("URAND", "DBP")}),
+    "fig04": (experiments.fig04_topt_mpki,
+              {"scale": "tiny", "graphs": ("URAND",)}),
+    "fig10": (experiments.fig10_main_result,
+              {"scale": "tiny", "graphs": ("URAND", "KRON"),
+               "apps": ("PR", "CC")}),
+    "fig13": (experiments.fig13_tiling,
+              {"scale": "tiny", "graphs": ("URAND",),
+               "tile_counts": (1, 2)}),
+    "fig14": (experiments.fig14_pb_phi,
+              {"scale": "tiny", "graphs": ("DBP",)}),
+    "fig16": (experiments.fig16_llc_sensitivity,
+              {"scale": "tiny", "graphs": ("URAND",),
+               "set_counts": (8, 16), "way_counts": (8,)}),
+}
+
+
+class TestGoldenRegression:
+    @pytest.mark.parametrize("figure", sorted(GOLDEN_CASES))
+    def test_rows_bit_identical_to_pre_spec_harness(self, figure):
+        fn, kwargs = GOLDEN_CASES[figure]
+        golden = json.loads(
+            (GOLDEN_DIR / f"{figure}_tiny.json").read_text()
+        )
+        rows = fn(**kwargs)
+        assert rows == golden
+        # Key *order* matters too: format_table derives its columns
+        # from insertion order, so a reordered dict is a changed table.
+        for row, want in zip(rows, golden):
+            assert list(row.keys()) == list(want.keys())
+
+
+class TestSpecValidation:
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", graphs=(), policies=("LRU",))
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", graphs=("URAND",), policies=())
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", graphs=("URAND",),
+                           policies=("LRU",), order=("graph", "app"))
+
+    def test_unknown_app_and_technique_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", graphs=("URAND",),
+                           policies=("LRU",), apps=("NOPE",))
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", graphs=("URAND",),
+                           policies=("LRU",), techniques=("blocked",))
+
+
+class TestPlanExpansion:
+    def test_policy_is_innermost_axis(self):
+        spec = ExperimentSpec(
+            name="x", graphs=("URAND", "KRON"),
+            policies=("LRU", "DRRIP"), scale="tiny",
+        )
+        units = spec.expand()
+        assert [(u.graph, u.policy) for u in units] == [
+            ("URAND", "LRU"), ("URAND", "DRRIP"),
+            ("KRON", "LRU"), ("KRON", "DRRIP"),
+        ]
+
+    def test_exclude_filters_bound_units(self):
+        spec = ExperimentSpec(
+            name="x", graphs=("URAND", "KRON"), policies=("LRU",),
+            scale="tiny",
+            exclude=((("graph", "KRON"),),),
+        )
+        assert [u.graph for u in spec.expand()] == ["URAND"]
+
+    def test_tasks_group_consecutive_same_prepare(self):
+        spec = ExperimentSpec(
+            name="x", graphs=("URAND",),
+            policies=("LRU", "DRRIP", "OPT"), scale="tiny",
+            chunk_size=2,
+        )
+        tasks = spec.tasks()
+        assert [t.policies for t in tasks] == [
+            ("LRU", "DRRIP"), ("OPT",)
+        ]
+        assert all(t.graph == "URAND" for t in tasks)
+
+    def test_expansion_deterministic_across_processes(self):
+        """Unit hashes and the plan digest survive hash randomization.
+
+        Artifact keys derive from these hashes; if they varied with
+        ``PYTHONHASHSEED`` the cache would never warm across runs.
+        """
+        script = (
+            "from repro.sim.spec import fig02_spec\n"
+            "spec = fig02_spec(scale='tiny', graphs=('URAND', 'DBP'))\n"
+            "units = spec.expand()\n"
+            "print(spec.plan_digest())\n"
+            "print(','.join(u.content_hash() for u in units))\n"
+        )
+        outs = set()
+        for seed in ("0", "1", "271828"):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True,
+                env={
+                    "PYTHONPATH": str(
+                        Path(__file__).resolve().parents[2] / "src"
+                    ),
+                    "PYTHONHASHSEED": seed,
+                },
+                check=True,
+            )
+            outs.add(proc.stdout)
+        assert len(outs) == 1
+
+    def test_plan_digest_tracks_spec_changes(self):
+        base = fig02_spec(scale="tiny", graphs=("URAND",))
+        same = fig02_spec(scale="tiny", graphs=("URAND",))
+        other = fig02_spec(scale="tiny", graphs=("DBP",))
+        assert base.plan_digest() == same.plan_digest()
+        assert base.plan_digest() != other.plan_digest()
+
+
+class TestRunSpec:
+    def test_jobs_identity_and_streaming(self):
+        spec = fig02_spec(scale="tiny", graphs=("URAND",))
+        streamed = []
+        serial = run_spec(spec, jobs=1, stream=streamed.append)
+        fanned = run_spec(spec, jobs=2)
+        assert serial == fanned
+        assert streamed == serial
+
+    def test_report_rows_is_pure(self):
+        spec = fig02_spec(scale="tiny", graphs=("URAND",))
+        rows = run_spec(spec)
+        assert report_rows(spec, rows) == report_rows(spec, list(rows))
+
+
+class TestScenarioMatrix:
+    def test_matrix_crosses_all_axes(self):
+        spec = scenario_matrix(
+            scale="tiny", graphs=("URAND",),
+            techniques=("none", "tiling:4"), llc_factors=(1, 2),
+        )
+        units = spec.expand()
+        # 1 graph x 2 techniques x 1 app x 2 LLC points x 4 policies
+        assert len(units) == 16
+        assert {u.technique for u in units} == {"none", "tiling:4"}
+        assert len({u.llc for u in units}) == 2
+        assert {u.policy for u in units} == {
+            "LRU", "DRRIP", "T-OPT", "P-OPT"
+        }
+
+    def test_unit_hashes_unique(self):
+        spec = scenario_matrix(scale="tiny", graphs=("URAND",))
+        hashes = [u.content_hash() for u in spec.expand()]
+        assert len(hashes) == len(set(hashes))
+
+    def test_registered_in_spec_harnesses(self):
+        assert "scenario_matrix" in SPEC_HARNESSES
+        for figure in GOLDEN_CASES:
+            assert any(name.startswith(figure) for name in SPEC_HARNESSES)
+
+
+class TestSpecBackedHarnessEquivalence:
+    def test_fig10_harness_equals_spec_pipeline(self):
+        spec = fig10_spec(scale="tiny", graphs=("URAND",),
+                          apps=("PR",))
+        via_spec = report_rows(spec, run_spec(spec))
+        via_harness = experiments.fig10_main_result(
+            scale="tiny", graphs=("URAND",), apps=("PR",)
+        )
+        assert via_spec == via_harness
