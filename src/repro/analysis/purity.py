@@ -1,0 +1,403 @@
+"""Call-graph walker: which functions can run inside pool workers?
+
+The ``par`` rule family (:mod:`repro.analysis.parsafety`) asks a
+reachability question before it asks any purity question: *which
+functions can execute inside a ``ProcessPoolExecutor`` worker?* This
+module answers it statically, with the same project-local philosophy as
+:class:`~repro.analysis.astutil.ClassIndex` — resolution is by name
+across the scanned file set, no imports are executed.
+
+Worker-boundary **entry points** are discovered, not hardcoded: any
+name bound to a ``ProcessPoolExecutor(...)`` (via ``with ... as pool``
+or assignment) marks its ``pool.map(fn, ...)`` / ``pool.submit(fn,
+...)`` first argument as an entry point. From those roots the
+**worker-reachable set** is the transitive closure over a deliberately
+over-approximate call graph:
+
+- bare-name calls and references resolve through the module's own
+  ``def``s and its ``from``-imports;
+- ``alias.fn(...)`` resolves through module imports/aliases;
+- ``self.m(...)`` resolves through the enclosing class and its scanned
+  ancestors;
+- any *other* ``obj.m(...)`` call edges to **every** scanned method
+  named ``m`` (workers really do run most of the simulator, so an
+  over-wide net beats a silent hole);
+- instantiating a scanned class edges into its ``__init__`` and
+  ``__post_init__``;
+- referencing a module-level constant (e.g. a factory dict) edges into
+  every function/class named in its value expression.
+
+Over-approximation is the correct direction for a race analyzer: a
+function wrongly *included* costs at worst an explained pragma; a
+function wrongly *excluded* is an unflagged cross-worker race.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .astutil import SourceModule, dotted_name
+
+__all__ = [
+    "EntryPoint",
+    "FunctionInfo",
+    "CallGraph",
+    "module_dotted_name",
+]
+
+#: Names whose calls create worker pools. Matched on the last component
+#: so both ``ProcessPoolExecutor(...)`` and
+#: ``concurrent.futures.ProcessPoolExecutor(...)`` register.
+_POOL_FACTORIES = {"ProcessPoolExecutor"}
+
+#: Executor methods whose first argument runs in a worker process.
+_SUBMIT_METHODS = {"map", "submit"}
+
+#: Attribute-call names too generic to fan out to every scanned method —
+#: edging ``x.get(...)`` into ``ArtifactStore.get`` is wanted, but
+#: builtin-container method names would drag in everything through dict
+#: and list usage. ``ArtifactStore.get``/``put`` stay reachable anyway
+#: through the named ``cached_*``/``store_*`` wrappers.
+_GENERIC_METHOD_NAMES = {
+    "append", "extend", "add", "update", "pop", "popitem", "clear",
+    "remove", "discard", "insert", "sort", "reverse", "keys", "values",
+    "items", "join", "split", "strip", "format", "copy", "tolist",
+    "setdefault",
+}
+
+
+def module_dotted_name(path: Path) -> str:
+    """Dotted module name for a scanned file.
+
+    Paths inside the package resolve from the ``repro`` component
+    (``src/repro/sim/parallel.py`` -> ``repro.sim.parallel``); anything
+    else (test fixtures in tmp dirs) falls back to the file stem, so
+    fixture modules never collide with the live allowlist.
+    """
+    parts = list(path.with_suffix("").parts)
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass(frozen=True)
+class EntryPoint:
+    """One resolved worker-boundary submission site."""
+
+    target: str          # qualname of the function handed to the pool
+    path: str            # file containing the submission call
+    line: int            # line of the pool.map/pool.submit call
+
+    def describe(self) -> str:
+        return f"{self.target} @ {self.path}:{self.line}"
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the scanned set."""
+
+    name: str
+    module: SourceModule
+    node: ast.AST                       # FunctionDef | AsyncFunctionDef
+    class_name: Optional[str] = None
+
+    @property
+    def qualname(self) -> str:
+        if self.class_name:
+            return f"{self.class_name}.{self.name}"
+        return self.name
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (str(self.module.path), self.qualname)
+
+
+@dataclass
+class _ModuleScope:
+    """Name-resolution facts for one module."""
+
+    dotted: str
+    #: local name -> (source module dotted name, original name)
+    from_imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: local alias -> module dotted name
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: module-level function name -> FunctionInfo
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: class name -> {method name -> FunctionInfo}
+    classes: Dict[str, Dict[str, FunctionInfo]] = field(default_factory=dict)
+    #: class name -> base-class names
+    class_bases: Dict[str, List[str]] = field(default_factory=dict)
+    #: module-level constant name -> names referenced in its value
+    constants: Dict[str, Set[str]] = field(default_factory=dict)
+    #: names of every module-level binding (for parsafety's use)
+    module_level_names: Set[str] = field(default_factory=set)
+
+
+def _relative_target(scope_dotted: str, level: int,
+                     module: Optional[str]) -> Optional[str]:
+    """Resolve ``from ...x import y`` to a dotted module name."""
+    if level == 0:
+        return module
+    package = scope_dotted.split(".")
+    # the module's own name is not part of its package
+    package = package[:-1]
+    if level > 1:
+        package = package[:-(level - 1)]
+    if not package and not module:
+        return None
+    return ".".join(package + ([module] if module else []))
+
+
+class CallGraph:
+    """Project-local call graph + worker reachability over scanned files."""
+
+    def __init__(self, modules: Sequence[SourceModule]) -> None:
+        self.modules = list(modules)
+        self.scopes: Dict[str, _ModuleScope] = {}
+        self._by_dotted: Dict[str, SourceModule] = {}
+        self._methods_by_name: Dict[str, List[FunctionInfo]] = {}
+        for module in self.modules:
+            dotted = module_dotted_name(module.path)
+            self._by_dotted.setdefault(dotted, module)
+        for module in self.modules:
+            self._index_module(module)
+
+    # -- indexing ------------------------------------------------------
+
+    def scope_of(self, module: SourceModule) -> _ModuleScope:
+        return self.scopes[str(module.path)]
+
+    def _index_module(self, module: SourceModule) -> None:
+        scope = _ModuleScope(dotted=module_dotted_name(module.path))
+        self.scopes[str(module.path)] = scope
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.ImportFrom):
+                target = _relative_target(
+                    scope.dotted, stmt.level, stmt.module
+                )
+                if target is None:
+                    continue
+                for alias in stmt.names:
+                    local = alias.asname or alias.name
+                    submodule = f"{target}.{alias.name}"
+                    if submodule in self._by_dotted:
+                        scope.module_aliases[local] = submodule
+                    else:
+                        scope.from_imports[local] = (target, alias.name)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    scope.module_aliases.setdefault(local, alias.name)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope.functions[stmt.name] = FunctionInfo(
+                    name=stmt.name, module=module, node=stmt
+                )
+                scope.module_level_names.add(stmt.name)
+            elif isinstance(stmt, ast.ClassDef):
+                methods: Dict[str, FunctionInfo] = {}
+                for item in stmt.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        info = FunctionInfo(
+                            name=item.name, module=module, node=item,
+                            class_name=stmt.name,
+                        )
+                        methods[item.name] = info
+                        self._methods_by_name.setdefault(
+                            item.name, []
+                        ).append(info)
+                scope.classes[stmt.name] = methods
+                scope.class_bases[stmt.name] = [
+                    (dotted_name(base) or "").rsplit(".", 1)[-1]
+                    for base in stmt.bases
+                ]
+                scope.module_level_names.add(stmt.name)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                value = stmt.value
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    scope.module_level_names.add(target.id)
+                    if value is not None:
+                        scope.constants[target.id] = {
+                            node.id for node in ast.walk(value)
+                            if isinstance(node, ast.Name)
+                        }
+
+    # -- resolution ----------------------------------------------------
+
+    def _resolve_in_module(
+        self, module: SourceModule, name: str
+    ) -> List[FunctionInfo]:
+        """A bare name in ``module``: function, class, or import."""
+        scope = self.scope_of(module)
+        info = scope.functions.get(name)
+        if info is not None:
+            return [info]
+        if name in scope.classes:
+            return self._class_constructors(module, name)
+        imported = scope.from_imports.get(name)
+        if imported is not None:
+            target_module = self._by_dotted.get(imported[0])
+            if target_module is not None:
+                return self._resolve_in_module(target_module, imported[1])
+        return []
+
+    def _class_constructors(
+        self, module: SourceModule, class_name: str
+    ) -> List[FunctionInfo]:
+        out: List[FunctionInfo] = []
+        for method in ("__init__", "__post_init__"):
+            out.extend(self._resolve_method(module, class_name, method))
+        return out
+
+    def _resolve_method(
+        self, module: SourceModule, class_name: str, method: str
+    ) -> List[FunctionInfo]:
+        """A method on a named scanned class, walking scanned bases."""
+        seen: Set[str] = set()
+        queue = [class_name]
+        while queue:
+            name = queue.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            for scope in self.scopes.values():
+                methods = scope.classes.get(name)
+                if methods is None:
+                    continue
+                if method in methods:
+                    return [methods[method]]
+                queue.extend(scope.class_bases.get(name, []))
+        return []
+
+    # -- entry points --------------------------------------------------
+
+    def entry_points(self) -> List[EntryPoint]:
+        """Every resolved ``pool.map``/``pool.submit`` target."""
+        out: List[EntryPoint] = []
+        for module in self.modules:
+            pools = self._pool_names(module)
+            if not pools:
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _SUBMIT_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in pools
+                    and node.args
+                ):
+                    continue
+                target = node.args[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                for info in self._resolve_in_module(module, target.id):
+                    out.append(EntryPoint(
+                        target=info.qualname,
+                        path=module.display_path,
+                        line=node.lineno,
+                    ))
+        return sorted(set(out), key=lambda e: (e.path, e.line, e.target))
+
+    def _pool_names(self, module: SourceModule) -> Set[str]:
+        """Names bound to a ProcessPoolExecutor anywhere in the module."""
+        pools: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.withitem):
+                call, target = node.context_expr, node.optional_vars
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                call, target = node.value, node.targets[0]
+            else:
+                continue
+            if not (isinstance(call, ast.Call) and isinstance(
+                target, ast.Name
+            )):
+                continue
+            factory = dotted_name(call.func) or ""
+            if factory.rsplit(".", 1)[-1] in _POOL_FACTORIES:
+                pools.add(target.id)
+        return pools
+
+    # -- reachability --------------------------------------------------
+
+    def worker_reachable(self) -> Dict[Tuple[str, str], FunctionInfo]:
+        """Transitive closure of functions callable from entry points."""
+        roots: List[FunctionInfo] = []
+        for entry in self.entry_points():
+            for module in self.modules:
+                if module.display_path != entry.path:
+                    continue
+                scope = self.scope_of(module)
+                name = entry.target.rsplit(".", 1)[-1]
+                roots.extend(self._resolve_in_module(module, name))
+        reachable: Dict[Tuple[str, str], FunctionInfo] = {}
+        queue = list(roots)
+        while queue:
+            info = queue.pop()
+            if info.key in reachable:
+                continue
+            reachable[info.key] = info
+            queue.extend(self._out_edges(info))
+        return reachable
+
+    def _out_edges(self, info: FunctionInfo) -> List[FunctionInfo]:
+        module = info.module
+        scope = self.scope_of(module)
+        out: List[FunctionInfo] = []
+        for node in ast.walk(info.node):  # type: ignore[arg-type]
+            if isinstance(node, ast.Call):
+                out.extend(self._call_edges(info, node))
+            elif isinstance(node, ast.Name) and isinstance(
+                node.ctx, ast.Load
+            ):
+                out.extend(self._resolve_in_module(module, node.id))
+                # A constant like a factory dict pulls in everything its
+                # value expression names (APP_FACTORIES -> every app).
+                for ref in scope.constants.get(node.id, ()):
+                    out.extend(self._resolve_in_module(module, ref))
+        return out
+
+    def _call_edges(
+        self, info: FunctionInfo, call: ast.Call
+    ) -> List[FunctionInfo]:
+        module = info.module
+        scope = self.scope_of(module)
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_in_module(module, func.id)
+        if not isinstance(func, ast.Attribute):
+            return []
+        attr = func.attr
+        base = func.value
+        if isinstance(base, ast.Name):
+            if base.id == "self" and info.class_name:
+                hit = self._resolve_method(module, info.class_name, attr)
+                if hit:
+                    return hit
+            alias = scope.module_aliases.get(base.id)
+            if alias is not None:
+                target_module = self._by_dotted.get(alias)
+                if target_module is not None:
+                    return self._resolve_in_module(target_module, attr)
+        # Unknown receiver: over-approximate to every scanned method of
+        # this name (except container-generic names, which would connect
+        # the graph through dict/list plumbing).
+        if attr in _GENERIC_METHOD_NAMES:
+            return []
+        return list(self._methods_by_name.get(attr, ()))

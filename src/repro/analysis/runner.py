@@ -23,6 +23,7 @@ from .determinism import check_determinism
 from .findings import Finding, format_findings
 from .hotpath import DEFAULT_REPLAY_PATH, check_hot_paths
 from .kernelcov import check_kernels
+from .parsafety import PAR_RULES, check_parsafety, par_status_lines
 from .registry_drift import check_registry
 from .speccov import check_spec_coverage
 
@@ -30,7 +31,7 @@ __all__ = ["SimlintConfig", "run_simlint", "main", "KNOWN_RULES"]
 
 RULE_FAMILIES = (
     "policy", "determinism", "hotpath", "registry", "kernels", "abi",
-    "spec-coverage",
+    "spec-coverage", "par",
 )
 
 #: Every rule id a suppression pragma may legally name. Pragmas naming
@@ -60,6 +61,7 @@ KNOWN_RULES = frozenset(
         "spec-coverage-unregistered",
         "spec-coverage-registry",
     )
+    + PAR_RULES
     + ABI_RULES
     + RULE_FAMILIES
 )
@@ -159,6 +161,8 @@ def run_simlint(
         findings.extend(check_abi(modules, set(KNOWN_RULES)))
     if "spec-coverage" in families:
         findings.extend(check_spec_coverage(modules))
+    if "par" in families:
+        findings.extend(check_parsafety(modules))
     # Overlapping scope walks may observe one site twice.
     return sorted(set(findings), key=lambda f: (f.path, f.line, f.rule))
 
@@ -189,12 +193,43 @@ def _ckernels_status() -> str:
     return f"ckernels: compiled kernels UNAVAILABLE ({reason})"
 
 
+#: Rule-id prefix -> family (longest prefix wins; core rules own none).
+_FAMILY_PREFIXES = (
+    ("spec-coverage-", "spec-coverage"),
+    ("determinism-", "determinism"),
+    ("registry-", "registry"),
+    ("hotpath-", "hotpath"),
+    ("policy-", "policy"),
+    ("kernel-", "kernels"),
+    ("par-", "par"),
+    ("abi-", "abi"),
+)
+
+
+def _family_of(rule: str) -> str:
+    for prefix, family in _FAMILY_PREFIXES:
+        if rule.startswith(prefix):
+            return family
+    return "core"
+
+
+def _family_counts(findings: Sequence[Finding]) -> str:
+    counts: dict = {}
+    for finding in findings:
+        family = _family_of(finding.rule)
+        counts[family] = counts.get(family, 0) + 1
+    return ", ".join(
+        f"{family}: {count}" for family, count in sorted(counts.items())
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="simlint: simulator-specific static analysis "
                     "(policy contracts, registry drift, determinism, "
-                    "hot-path hygiene, cross-language kernel ABI)",
+                    "hot-path hygiene, cross-language kernel ABI, "
+                    "worker purity)",
     )
     parser.add_argument(
         "paths", nargs="*", type=Path,
@@ -212,19 +247,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="alias for --skip",
     )
     parser.add_argument(
+        "--family", action="append", default=[], choices=RULE_FAMILIES,
+        metavar="FAMILY",
+        help="run only the named family (repeatable; overrides --skip)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true",
         help="suppress the all-clear summary line",
     )
     args = parser.parse_args(argv)
 
     paths = args.paths if args.paths else [_default_target()]
-    families = tuple(f for f in RULE_FAMILIES if f not in set(args.skip))
+    if args.family:
+        families = tuple(
+            f for f in RULE_FAMILIES if f in set(args.family)
+        )
+    else:
+        families = tuple(
+            f for f in RULE_FAMILIES if f not in set(args.skip)
+        )
     findings = run_simlint(paths, SimlintConfig(families=families))
+
+    def status_lines() -> List[str]:
+        lines: List[str] = []
+        if "par" in families:
+            modules, _ = _load_modules([Path(p) for p in paths])
+            lines.extend(par_status_lines(modules))
+        if "abi" in families:
+            lines.append(_ckernels_status())
+        return lines
+
     if findings:
         print(format_findings(findings))
-        print(f"simlint: {len(findings)} finding(s)")
-        if "abi" in families:
-            print(_ckernels_status())
+        print(
+            f"simlint: {len(findings)} finding(s) "
+            f"[{_family_counts(findings)}]"
+        )
+        for line in status_lines():
+            print(line)
         return 1
     if not args.quiet:
         scanned = len(iter_python_files([Path(p) for p in paths]))
@@ -232,6 +292,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"simlint: OK ({scanned} files, "
             f"families: {', '.join(families)})"
         )
-        if "abi" in families:
-            print(_ckernels_status())
+        for line in status_lines():
+            print(line)
     return 0

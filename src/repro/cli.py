@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import json
+import os
 import sys
 from typing import Dict, List
 
@@ -33,7 +34,7 @@ from .cache import scaled_hierarchy
 from .graph import datasets, degree_stats
 from .sim import experiments, prepare_run, simulate_prepared
 from .sim import artifacts as artifacts_module
-from .sim.parallel import APP_FACTORIES
+from .sim.parallel import APP_FACTORIES, START_METHOD_ENV
 from .sim.spec import ExperimentSpec, run_spec, scenario_matrix
 from .sim.tables import format_table, table1_rows, table2_rows, table3_rows
 
@@ -155,6 +156,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="stream rows to this file as JSON lines while running "
              "(default: print a table at the end only)",
     )
+    matrix.add_argument(
+        "--start-method", default="",
+        choices=["", "fork", "spawn", "forkserver"],
+        help="multiprocessing start method for --jobs workers "
+             "(default: platform default; rows are identical under "
+             "any method — CI's spawn leg proves it)",
+    )
 
     sub.add_parser("tables", help="print paper tables I-III")
     graphs = sub.add_parser("graphs", help="list graph stand-ins")
@@ -273,6 +281,8 @@ def _cmd_matrix(args) -> int:
             t.strip() for t in args.techniques.split(",") if t.strip()
         )
     spec = scenario_matrix(**kwargs)
+    if args.start_method:
+        os.environ[START_METHOD_ENV] = args.start_method
     if args.artifacts:
         artifacts_module.configure(args.artifacts)
     print(

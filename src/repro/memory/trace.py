@@ -176,6 +176,12 @@ class DecodedTrace:
     vertices: np.ndarray   # int32 outer-loop vertex per access
 
     def __post_init__(self) -> None:
+        # The decode is memoized on the trace and shared by every replay
+        # (and every worker task touching the prepared run), so the
+        # channels are read-only from birth; ``pcs``/``writes``/
+        # ``vertices`` alias the source trace, freezing those too.
+        for channel in (self.lines, self.pcs, self.writes, self.vertices):
+            channel.setflags(write=False)
         self._lists = None
 
     def __len__(self) -> int:

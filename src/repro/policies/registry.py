@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from ..errors import PolicyError
+from ..sim.worker_state import register_worker_state
 from .base import ReplacementPolicy
 from .hawkeye import Hawkeye
 from .lru import LRU
@@ -46,6 +47,13 @@ class PolicyContext:
 
 
 _FACTORIES: Dict[str, Callable[[PolicyContext], ReplacementPolicy]] = {}
+
+register_worker_state(
+    "repro.policies.registry._FACTORIES",
+    kind="frozen",
+    note="policy registry, populated by import-time decorators; "
+         "worker-executed code must not register policies",
+)
 
 
 def register_policy(name: str, *, replace: bool = False):
@@ -88,6 +96,13 @@ def policy_names() -> List[str]:
 # ----------------------------------------------------------------------
 
 _REPLAY_KERNELS: Optional[Dict[type, str]] = None
+
+register_worker_state(
+    "repro.policies.registry._REPLAY_KERNELS",
+    kind="cache",
+    note="lazily-built exact-type kernel dispatch table; identical in "
+         "every process by construction",
+)
 
 
 def replay_kernels() -> Dict[type, str]:

@@ -51,6 +51,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from . import worker_state
+
 __all__ = [
     "ArtifactStore",
     "DIR_ENV",
@@ -183,6 +185,12 @@ class ArtifactStore:
         except (OSError, ValueError):
             self._count(kind, "misses")
             return None
+        for array in arrays.values():
+            # mmap_mode="r" already maps read-only; make the contract
+            # explicit so a future non-mmap load path cannot silently
+            # hand out writable views of store-shared pages. Mutating
+            # callers must .copy().
+            array.setflags(write=False)
         self._count(kind, "hits")
         return {"meta": payload.get("meta", {}), "arrays": arrays}
 
@@ -236,6 +244,13 @@ class ArtifactStore:
 
 #: Per-process store cache so counters accumulate across call sites.
 _STORES: Dict[str, ArtifactStore] = {}
+
+worker_state.register_worker_state(
+    "repro.sim.artifacts._STORES",
+    kind="cache",
+    note="per-process store handles; counters are process-local by "
+         "design and the on-disk state is content-addressed",
+)
 
 
 def get_store() -> Optional[ArtifactStore]:

@@ -39,6 +39,8 @@ import warnings
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from . import worker_state
+
 __all__ = [
     "lib",
     "available",
@@ -65,6 +67,18 @@ _LIB: Union[None, bool, ctypes.CDLL] = None
 #: Human-readable reason the last build/load attempt failed (compiler
 #: diagnostic, missing toolchain, dlopen error), or None.
 _BUILD_ERROR: Optional[str] = None
+
+worker_state.register_worker_state(
+    "repro.sim.ckernels._LIB",
+    kind="cache",
+    note="per-process memoized dlopen handle; the .so itself is "
+         "content-hash-cached on disk with atomic rename",
+)
+worker_state.register_worker_state(
+    "repro.sim.ckernels._BUILD_ERROR",
+    kind="cache",
+    note="per-process build diagnostic paired with _LIB",
+)
 
 _I64P = ctypes.POINTER(ctypes.c_longlong)
 _U8P = ctypes.POINTER(ctypes.c_ubyte)

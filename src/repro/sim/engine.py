@@ -65,6 +65,23 @@ __all__ = [
 ]
 
 
+def _freeze(*arrays: np.ndarray) -> None:
+    """Mark arrays read-only (shared across replays and worker tasks).
+
+    Filter channels and memoized products are handed to every policy
+    replay of the run — and, under ``--jobs``, re-read across worker
+    task boundaries — so an in-place write through one consumer would
+    silently corrupt every later replay. ``setflags(write=False)`` turns
+    that race into an immediate ``ValueError``; consumers that need a
+    scratch copy take ``.copy()`` explicitly. Non-ndarray channels
+    (tests hand-build filters with plain lists) pass through untouched,
+    mirroring the ``np.asarray`` tolerance in the accessors.
+    """
+    for array in arrays:
+        if isinstance(array, np.ndarray):
+            array.setflags(write=False)
+
+
 @dataclass
 class PrivateFilter:
     """Cached result of replaying the private levels once (phase 2).
@@ -91,6 +108,13 @@ class PrivateFilter:
     indices: np.ndarray              # original trace positions
 
     def __post_init__(self) -> None:
+        # Single choke point covering both freshly-built filters and
+        # ones rehydrated from the artifact store: every shared channel
+        # is read-only from birth.
+        _freeze(
+            self.mask, self.lines, self.pcs, self.writes,
+            self.vertices, self.indices,
+        )
         self._lists: Optional[tuple] = None
         self._compact_next_use: Optional[np.ndarray] = None
         self._partition_arrays: Dict[int, tuple] = {}
@@ -149,6 +173,7 @@ class PrivateFilter:
                 sorted_pos = pos[order]
                 same = sorted_lines[:-1] == sorted_lines[1:]
                 next_use[sorted_pos[:-1][same]] = sorted_pos[1:][same]
+            _freeze(next_use)
             self._compact_next_use = next_use
         return self._compact_next_use
 
@@ -176,6 +201,7 @@ class PrivateFilter:
                 ),
                 order,
             )
+            _freeze(*cached)
             self._partition_arrays[num_sets] = cached
         return cached
 
@@ -213,6 +239,7 @@ class PrivateFilter:
             else:
                 set_idx = lines % num_sets
             cached = np.ascontiguousarray(set_idx, dtype=np.int64)
+            _freeze(cached)
             self._set_index_arrays[num_sets] = cached
         return cached
 
@@ -240,6 +267,7 @@ class PrivateFilter:
             cached = np.ascontiguousarray(
                 np.asarray(self.vertices)[order], dtype=np.int64
             )
+            _freeze(cached)
             self._partition_vertices[num_sets] = cached
         return cached
 
@@ -263,6 +291,7 @@ class PrivateFilter:
                 match = (sid < 0) & (lines >= line_base) & (lines < line_bound)
                 sid[match] = index
                 off[match] = lines[match] - line_base
+            _freeze(sid, off)
             cached = (sid, off)
             self._memberships[bounds] = cached
         return cached

@@ -118,7 +118,7 @@ from ..errors import SimulationError
 from ..policies.random_policy import RandomReplacement
 from ..policies.rrip import BRRIP
 from ..popt.arch import PoptCounters
-from . import ckernels
+from . import ckernels, worker_state
 from .constants import (
     POPT_SPARAM_SLOTS,
     POPT_STREAMING_NEXT_REF,
@@ -1271,6 +1271,13 @@ KERNEL_TABLE: Dict[str, Callable[[KernelRequest], CacheStats]] = {
     "t-opt": kernel_topt,
     "p-opt": kernel_popt,
 }
+
+worker_state.register_worker_state(
+    "repro.sim.kernels.KERNEL_TABLE",
+    kind="frozen",
+    note="kernel dispatch table, fixed at import; worker-executed code "
+         "must not add or swap kernels",
+)
 
 
 def resolve_kernel(

@@ -29,6 +29,7 @@ default shape.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
@@ -38,14 +39,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .. import apps as apps_module
 from ..cache.config import CacheConfig, HierarchyConfig, scaled_hierarchy
 from ..graph import datasets
-from . import artifacts
+from . import artifacts, worker_state
 from .driver import prepare_dbg_run, prepare_run, simulate_prepared
 
 __all__ = [
     "APP_FACTORIES",
+    "START_METHOD_ENV",
     "TECHNIQUES",
     "SweepTask",
     "policy_chunks",
+    "pool_context",
     "run_sweep",
     "sweep_rows",
     "task_hierarchy",
@@ -63,6 +66,13 @@ APP_FACTORIES = {
     "SSSP": apps_module.SSSP,
     "kCore": apps_module.KCore,
 }
+
+worker_state.register_worker_state(
+    "repro.sim.parallel.APP_FACTORIES",
+    kind="frozen",
+    note="app dispatch table; must be an import-time constant in "
+         "every worker",
+)
 
 
 #: Software locality techniques a task can apply before tracing.
@@ -169,6 +179,13 @@ def policy_chunks(
 # sweeps fast — the bound only matters once a sweep touches more
 # (app, graph, technique) combinations than fit.
 _PREPARED_CACHE: "OrderedDict[Tuple[object, ...], object]" = OrderedDict()
+
+worker_state.register_worker_state(
+    "repro.sim.parallel._PREPARED_CACHE",
+    kind="cache",
+    note="per-process prepared-run LRU; rebuilt deterministically from "
+         "task descriptors, so divergence across workers is invisible",
+)
 
 #: Override the per-process prepared-run cache bound (entries).
 PREPARED_CACHE_ENV = "REPRO_PREPARED_CACHE"
@@ -295,11 +312,13 @@ def run_task(task: SweepTask) -> List[Dict[str, object]]:
     identity — re-running an interrupted sweep replays only the tasks
     that never finished.
     """
+    worker_state.guard_boundary("task-start")
     store = artifacts.get_store()
     use_rows = store is not None and _rows_cache_enabled()
     if use_rows:
         cached = artifacts.cached_rows(store, task.rows_key())
         if cached is not None:
+            worker_state.guard_boundary("task-end")
             return cached
     prepared = _prepared_for(task)
     hierarchy = task_hierarchy(task)
@@ -334,7 +353,28 @@ def run_task(task: SweepTask) -> List[Dict[str, object]]:
         )
     if use_rows:
         artifacts.store_rows(store, task.rows_key(), rows)
+    worker_state.guard_boundary("task-end")
     return rows
+
+
+#: Select the multiprocessing start method for sweep pools ("fork",
+#: "spawn", "forkserver"; empty = the platform default). Results are
+#: identical under any method — the spawn-vs-fork CI leg locks that in.
+START_METHOD_ENV = "REPRO_START_METHOD"
+
+
+def pool_context():
+    """The multiprocessing context sweeps pools run under, or None.
+
+    ``None`` keeps :class:`ProcessPoolExecutor`'s platform default;
+    anything else comes from :data:`START_METHOD_ENV` (an unknown
+    method name raises ``ValueError`` — fail loud, not fork-by-
+    accident).
+    """
+    method = os.environ.get(START_METHOD_ENV, "").strip()
+    if not method:
+        return None
+    return multiprocessing.get_context(method)
 
 
 def run_sweep(
@@ -344,14 +384,18 @@ def run_sweep(
 
     Results are the concatenation of each task's rows **in task order**
     (policies in task-declared order within a task), independent of
-    which worker finished first — output is identical for any ``jobs``.
+    which worker finished first — output is identical for any ``jobs``
+    and any start method (workers rebuild state deterministically from
+    task descriptors; nothing depends on fork-inherited snapshots).
     """
     if jobs <= 1 or len(tasks) <= 1:
         out: List[Dict[str, object]] = []
         for task in tasks:
             out.extend(run_task(task))
         return out
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    with ProcessPoolExecutor(
+        max_workers=jobs, mp_context=pool_context()
+    ) as pool:
         # Executor.map preserves input order, so collation is trivial.
         per_task = list(pool.map(run_task, tasks, chunksize=1))
     return [row for rows in per_task for row in rows]

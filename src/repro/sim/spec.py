@@ -53,9 +53,11 @@ from .parallel import (
     APP_FACTORIES,
     SweepTask,
     policy_chunks,
+    pool_context,
     run_task,
     validate_technique,
 )
+from .worker_state import register_worker_state
 
 __all__ = [
     "AXES",
@@ -300,7 +302,9 @@ def run_spec(
                 if stream is not None:
                     stream(row)
         return rows
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    with ProcessPoolExecutor(
+        max_workers=jobs, mp_context=pool_context()
+    ) as pool:
         rows = []
         # Executor.map yields per-task results in submission order.
         for task_rows in pool.map(run_task, tasks, chunksize=1):
@@ -479,6 +483,12 @@ REPORTERS: Dict[str, Callable[..., List[Dict[str, object]]]] = {
     "llc_sensitivity": _report_llc_sensitivity,
 }
 
+register_worker_state(
+    "repro.sim.spec.REPORTERS",
+    kind="frozen",
+    note="reporter dispatch table; import-time constant",
+)
+
 
 # ----------------------------------------------------------------------
 # Spec factories for the migrated harnesses. SPEC_HARNESSES maps the
@@ -487,6 +497,12 @@ REPORTERS: Dict[str, Callable[..., List[Dict[str, object]]]] = {
 # ----------------------------------------------------------------------
 
 SPEC_HARNESSES: Dict[str, Callable[..., ExperimentSpec]] = {}
+
+register_worker_state(
+    "repro.sim.spec.SPEC_HARNESSES",
+    kind="frozen",
+    note="harness registry, populated by import-time decorators only",
+)
 
 
 def spec_harness(harness_name: str):

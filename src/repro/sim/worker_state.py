@@ -1,0 +1,210 @@
+"""Registry of module-level mutable state + the worker-drift guard.
+
+The parallel sweep fabric assumes worker-executed code is pure apart
+from a handful of *documented per-process caches* (the prepared-run
+LRU, the artifact-store handle map, the lazily-built kernel library).
+This module is the single source of truth for that assumption, shared
+by two consumers:
+
+- the simlint ``par`` family (:mod:`repro.analysis.parsafety`) reads
+  :func:`registered_cache_names` as its mutation allowlist — a cache
+  that is not registered here is a finding, so the static analyzer and
+  the runtime can never disagree about what is sanctioned;
+- :class:`WorkerStateGuard` (enabled via ``REPRO_WORKER_GUARD=1``)
+  hashes the ``frozen`` entries at worker task boundaries and raises
+  :class:`WorkerStateError` on drift, catching the races the static
+  pass cannot see (dynamic registration, C-extension writes).
+
+Entries come in two kinds:
+
+- ``cache`` — module state that legally varies per process (memoized
+  builds, handle maps). The static analyzer permits mutations of these
+  names; the guard ignores them.
+- ``frozen`` — registries that must be import-time constants in every
+  worker (kernel dispatch tables, app factories). The guard hashes
+  them structurally and any change between task boundaries raises.
+
+Registration happens at import time of the owning module, next to the
+state it describes, so the registry is populated exactly when the
+state exists.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional
+
+__all__ = [
+    "GUARD_ENV",
+    "StateEntry",
+    "WorkerStateError",
+    "WorkerStateGuard",
+    "register_worker_state",
+    "registered_state",
+    "registered_cache_names",
+    "guard_boundary",
+    "reset_guard",
+]
+
+#: Set to ``1`` to hash frozen worker state at every task boundary.
+GUARD_ENV = "REPRO_WORKER_GUARD"
+
+
+@dataclass(frozen=True)
+class StateEntry:
+    """One registered piece of module-level mutable state."""
+
+    name: str                 # dotted, e.g. "repro.sim.parallel._PREPARED_CACHE"
+    kind: str                 # "cache" (may mutate) | "frozen" (must not)
+    note: str                 # why it exists / why it is safe
+    getter: Optional[Callable[[], object]] = None  # test hook
+
+    def resolve(self) -> object:
+        if self.getter is not None:
+            return self.getter()
+        module_name, _, attr = self.name.rpartition(".")
+        module = importlib.import_module(module_name)
+        return getattr(module, attr)
+
+
+_REGISTRY: Dict[str, StateEntry] = {}
+
+
+def register_worker_state(
+    name: str,
+    kind: str = "cache",
+    note: str = "",
+    getter: Optional[Callable[[], object]] = None,
+) -> None:
+    """Declare one module-level state object (import-time, idempotent)."""
+    if kind not in ("cache", "frozen"):
+        raise ValueError(f"kind must be 'cache' or 'frozen', got {kind!r}")
+    _REGISTRY[name] = StateEntry(name=name, kind=kind, note=note,
+                                 getter=getter)
+
+
+def registered_state() -> List[StateEntry]:
+    """Every entry, sorted by name (deterministic reports)."""
+    return sorted(_REGISTRY.values(), key=lambda entry: entry.name)
+
+
+def registered_cache_names() -> FrozenSet[str]:
+    """Dotted names the ``par`` analyzer may see mutated."""
+    return frozenset(
+        entry.name for entry in _REGISTRY.values() if entry.kind == "cache"
+    )
+
+
+# ----------------------------------------------------------------------
+# Structural hashing. repr() of a dict of classes embeds memory
+# addresses, so frozen entries are described structurally: containers by
+# sorted (key, description) pairs, callables/classes by qualified name.
+# ----------------------------------------------------------------------
+
+
+def _describe(obj: object, depth: int = 0) -> str:
+    if depth > 4:
+        return type(obj).__name__
+    if isinstance(obj, dict):
+        items = sorted(
+            (str(key), _describe(value, depth + 1))
+            for key, value in obj.items()
+        )
+        return f"dict({items})"
+    if isinstance(obj, (list, tuple)):
+        inner = [_describe(item, depth + 1) for item in obj]
+        return f"{type(obj).__name__}({inner})"
+    if isinstance(obj, (set, frozenset)):
+        inner = sorted(_describe(item, depth + 1) for item in obj)
+        return f"{type(obj).__name__}({inner})"
+    qualname = getattr(obj, "__qualname__", None)
+    if qualname is not None:
+        return f"{getattr(obj, '__module__', '?')}.{qualname}"
+    if isinstance(obj, (str, bytes, int, float, bool)) or obj is None:
+        return repr(obj)
+    return type(obj).__name__
+
+
+def _digest(obj: object) -> str:
+    return hashlib.sha256(_describe(obj).encode("utf-8")).hexdigest()
+
+
+class WorkerStateError(RuntimeError):
+    """Registered frozen state drifted between worker task boundaries."""
+
+
+class WorkerStateGuard:
+    """Hashes frozen entries at task boundaries; raises on drift.
+
+    The first boundary records the baseline; every later boundary
+    re-hashes and compares. One guard per worker process is enough —
+    tasks are serialized within a worker.
+    """
+
+    def __init__(self) -> None:
+        self._baseline: Optional[Dict[str, str]] = None
+
+    @staticmethod
+    def enabled() -> bool:
+        return os.environ.get(GUARD_ENV, "") not in ("", "0")
+
+    def snapshot(self) -> Dict[str, str]:
+        out: Dict[str, str] = {}
+        for entry in registered_state():
+            if entry.kind != "frozen":
+                continue
+            try:
+                out[entry.name] = _digest(entry.resolve())
+            except Exception:
+                # An unimportable entry is a stale registration; the
+                # static pass (par-allowlist-stale) reports it — the
+                # runtime guard only compares what resolves.
+                continue
+        return out
+
+    def check(self, boundary: str) -> None:
+        snapshot = self.snapshot()
+        if self._baseline is None:
+            self._baseline = snapshot
+            return
+        drifted = sorted(
+            name for name in set(snapshot) | set(self._baseline)
+            if snapshot.get(name) != self._baseline.get(name)
+        )
+        if drifted:
+            raise WorkerStateError(
+                f"frozen worker state drifted at {boundary}: "
+                f"{', '.join(drifted)} — worker-executed code mutated a "
+                f"registry that must stay an import-time constant"
+            )
+
+
+# Per-process guard handle (itself a registered cache: lazily built,
+# legally different in every worker).
+_GUARD: Optional[WorkerStateGuard] = None
+
+
+def guard_boundary(boundary: str) -> None:
+    """Task-boundary hook: no-op unless :data:`GUARD_ENV` is set."""
+    global _GUARD
+    if not WorkerStateGuard.enabled():
+        return
+    if _GUARD is None:
+        _GUARD = WorkerStateGuard()
+    _GUARD.check(boundary)
+
+
+def reset_guard() -> None:
+    """Forget the baseline (test hook)."""
+    global _GUARD
+    _GUARD = None
+
+
+register_worker_state(
+    "repro.sim.worker_state._GUARD",
+    kind="cache",
+    note="per-process drift-guard handle, built on first boundary",
+)

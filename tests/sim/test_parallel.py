@@ -3,6 +3,7 @@ ordering is deterministic, and the CLI plumbs ``--jobs`` through."""
 
 import pytest
 
+from repro.sim import parallel
 from repro.sim.parallel import (
     APP_FACTORIES,
     SweepTask,
@@ -73,6 +74,26 @@ class TestSweepDeterminism:
     def test_single_task_stays_serial(self):
         tasks = [SweepTask(graph="URAND", policies=("LRU",))]
         assert run_sweep(tasks, jobs=8) == run_sweep(tasks, jobs=1)
+
+    def test_spawn_matches_serial(self, monkeypatch):
+        # spawn workers rebuild state from imports rather than a forked
+        # snapshot; identical rows prove nothing leans on fork-captured
+        # module state (the property the simlint par family guards).
+        serial = sweep_rows(["URAND"], ("LRU", "DRRIP"), scale="tiny",
+                            jobs=1)
+        monkeypatch.setenv(parallel.START_METHOD_ENV, "spawn")
+        spawned = sweep_rows(["URAND"], ("LRU", "DRRIP"), scale="tiny",
+                             jobs=2, chunk_size=1)
+        assert spawned == serial
+
+    def test_pool_context_invalid_method_raises(self, monkeypatch):
+        monkeypatch.setenv(parallel.START_METHOD_ENV, "bogus")
+        with pytest.raises(ValueError):
+            parallel.pool_context()
+
+    def test_pool_context_default_is_none(self, monkeypatch):
+        monkeypatch.delenv(parallel.START_METHOD_ENV, raising=False)
+        assert parallel.pool_context() is None
 
 
 class TestExperimentsJobs:
