@@ -61,17 +61,25 @@ def bench_engine_throughput(benchmark):
         # ...with the private levels replayed exactly once...
         assert fast["filters_built"] == 1
         assert fast["filters_reused"] == len(ENGINE_SWEEP_POLICIES) - 1
-        # ...and an end-to-end sweep speedup of at least 2x.
-        assert fast["speedup_vs_reference"] >= 2.0, fast
+        # ...the Amdahl phase split populated (filter built once,
+        # replay per policy; the fused build decodes inline so decode
+        # may be 0.0 but never negative)...
+        assert fast["filter_seconds"] > 0, fast
+        assert fast["replay_seconds"] > 0, fast
+        assert fast["decode_seconds"] >= 0, fast
+        # ...and an end-to-end sweep speedup of at least 5x (the fused
+        # front-end plus SHiP/Hawkeye kernels; pre-kernel fast engines
+        # measured ~2x here).
+        assert fast["speedup_vs_reference"] >= 5.0, fast
 
 
 # The guaranteed-everywhere floor (pure-Python fallback, any host) and
 # the floor the flagship policies must clear when the compiled kernels
-# are live. Measured values are far above both: ~2-8x pure, ~17-74x
+# are live. Measured values are far above both: ~2-9x pure, ~21-93x
 # compiled, so failing these means dispatch regressed, not noise.
 KERNEL_SPEEDUP_FLOOR = 1.3
 COMPILED_SPEEDUP_FLOOR = 5.0
-COMPILED_FLOOR_POLICIES = ("LRU", "DRRIP", "OPT")
+COMPILED_FLOOR_POLICIES = ("LRU", "DRRIP", "OPT", "SHiP-PC", "Hawkeye")
 
 
 def bench_kernel_throughput(benchmark):

@@ -86,6 +86,20 @@ class MemoryTrace:
     def __len__(self) -> int:
         return len(self.addresses)
 
+    def __getstate__(self) -> dict:
+        # The decode memo (``_decoded``) can dwarf the trace itself — it
+        # holds line arrays plus materialized Python-list views — and is
+        # cheap to rebuild, so pickles (worker task payloads, artifact
+        # blobs) carry only the four channels.
+        state = dict(self.__dict__)
+        state.pop("_decoded", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        # Frozen dataclass: restore through object.__setattr__.
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
     def __iter__(self) -> Iterator[Tuple[int, int, bool, int]]:
         for i in range(len(self)):
             yield (
@@ -182,21 +196,31 @@ class DecodedTrace:
         # ``vertices`` alias the source trace, freezing those too.
         for channel in (self.lines, self.pcs, self.writes, self.vertices):
             channel.setflags(write=False)
-        self._lists = None
+        self._channel_lists: dict = {}
 
     def __len__(self) -> int:
         return len(self.lines)
 
+    def channel_lists(self, *channels: str) -> Tuple[list, ...]:
+        """The named channels as plain Python lists, memoized per channel.
+
+        Callers name only what their loop reads (``"lines"``,
+        ``"pcs"``, ``"writes"``, ``"vertices"``), so a consumer that
+        never touches, say, the vertex channel never pays its
+        ``.tolist()`` boxing pass.
+        """
+        out = []
+        for name in channels:
+            cached = self._channel_lists.get(name)
+            if cached is None:
+                cached = getattr(self, name).tolist()
+                self._channel_lists[name] = cached
+            out.append(cached)
+        return tuple(out)
+
     def as_lists(self) -> Tuple[list, list, list, list]:
         """(lines, pcs, writes, vertices) as plain Python lists, memoized."""
-        if self._lists is None:
-            self._lists = (
-                self.lines.tolist(),
-                self.pcs.tolist(),
-                self.writes.tolist(),
-                self.vertices.tolist(),
-            )
-        return self._lists
+        return self.channel_lists("lines", "pcs", "writes", "vertices")
 
 
 def decode_trace(trace: MemoryTrace, line_shift: int) -> DecodedTrace:

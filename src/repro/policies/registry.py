@@ -112,19 +112,23 @@ def replay_kernels() -> Dict[type, str]:
     looked up by ``type(policy)`` — **not** ``isinstance`` — so a
     subclass never silently inherits a kernel that does not model its
     behavior (BIP subclasses LIP but adds an RNG on fill;
-    Hawkeye/SHiP/GRASP/SDBP/Leeway/BIP all stay on the generic
-    per-access path). P-OPT additionally overrides ``replay_kernel`` to
-    fall back to the generic path when its tie-break sub-policy is not
-    exactly DRRIP (the kernel inlines DRRIP's RRPV/PSEL evolution).
-    Built lazily so registering the table does not force-import every
-    policy module at package import.
+    GRASP/SDBP/Leeway/BIP all stay on the generic per-access path).
+    Two policies additionally override ``replay_kernel`` to fall back
+    to the generic path when a kernel precondition fails: P-OPT when
+    its tie-break sub-policy is not exactly DRRIP (the kernel inlines
+    DRRIP's RRPV/PSEL evolution), and SHiP when its signature flavor is
+    not ``pc`` (the kernel's dense SHCT indexes uint8 PC tags, not
+    SHiP-Mem's region signatures). Built lazily so registering the
+    table does not force-import every policy module at package import.
     """
     global _REPLAY_KERNELS
     if _REPLAY_KERNELS is None:
         from ..popt.policy import POPT
         from ..popt.topt import TOPT
+        from .hawkeye import Hawkeye
         from .lip import LIP
         from .opt import BeladyOPT
+        from .ship import SHiP
 
         _REPLAY_KERNELS = {
             LRU: "lru",
@@ -134,6 +138,8 @@ def replay_kernels() -> Dict[type, str]:
             SRRIP: "srrip",
             BRRIP: "brrip",
             DRRIP: "drrip",
+            SHiP: "ship",
+            Hawkeye: "hawkeye",
             BeladyOPT: "opt",
             TOPT: "t-opt",
             POPT: "p-opt",

@@ -103,6 +103,14 @@ class SHiP(ReplacementPolicy):
                 for way in range(self.num_ways):
                     rrpv[way] += bump
 
+    def replay_kernel(self):
+        # The replay kernel's dense SHCT indexes uint8 PC tags;
+        # SHiP-Mem's region signatures (unbounded dict) must take the
+        # generic per-access path.
+        if self.signature_kind != "pc":
+            return None
+        return super().replay_kernel()
+
 
 def ship_pc() -> SHiP:
     """SHiP signing with the access-site ID (program counter)."""

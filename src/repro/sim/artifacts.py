@@ -453,6 +453,10 @@ def store_filter(
             "l2_stats": _stats_fields(filt.l2_stats),
             "l1_hits": filt.l1_hits,
             "l2_hits": filt.l2_hits,
+            # Provenance only: what the original build cost. Engine
+            # reports count rehydrated filters as reused (0.0 phases).
+            "decode_seconds": filt.decode_seconds,
+            "filter_seconds": filt.filter_seconds,
         },
     )
 
@@ -484,6 +488,8 @@ def cached_filter(store: ArtifactStore, trace, hierarchy_config):
             writes=arrays["writes"],
             vertices=arrays["vertices"],
             indices=arrays["indices"],
+            decode_seconds=float(meta.get("decode_seconds", 0.0)),
+            filter_seconds=float(meta.get("filter_seconds", 0.0)),
         )
     except Exception:
         return None

@@ -103,6 +103,16 @@ _SIGNATURES: Dict[str, List[Any]] = {
     "k_popt": [_I64P, _U8P, _I64P, _I64P, _I64P, _I64P, _I64, _I64,
                _I64, _I64P, _I64P, _I64, _I64, _F64, _I64, _I64P,
                _F64P, _I64P, _I64P, _I64P],
+    "k_private_filter": [_I64P, _U8P, _I64, _I64, _I64, _I64, _I64,
+                         _I64, _I64, _I64, _I64P, _I64P, _U8P, _I64P,
+                         _I64P],
+    "k_next_use": [_I64P, _I64, _I64, _I64P, _I64P],
+    "k_set_partition": [_I64P, _U8P, _I64P, _I64, _I64, _I64P, _I64P,
+                        _I64P, _U8P, _I64P],
+    "k_ship": [_I64P, _U8P, _U8P, _I64P, _I64, _I64, _I64, _I64,
+               _I64P, _I64P],
+    "k_hawkeye": [_I64P, _U8P, _U8P, _I64P, _I64, _I64, _I64, _I64,
+                  _I64, _I64, _I64P, _I64P],
 }
 
 

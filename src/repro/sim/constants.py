@@ -39,6 +39,12 @@ __all__ = [
     "POPT_STREAMING_NEXT_REF",
     "POPT_SPARAM_LAYOUT",
     "POPT_SPARAM_SLOTS",
+    "KERNEL_SIG_SPACE",
+    "SHIP_SHCT_MAX",
+    "SHIP_SHCT_INITIAL",
+    "HAWKEYE_RRPV_MAX",
+    "HAWKEYE_COUNTER_MAX",
+    "HAWKEYE_COUNTER_INITIAL",
     "C_PARITY",
 ]
 
@@ -155,6 +161,27 @@ POPT_SPARAM_SLOTS = len(POPT_SPARAM_LAYOUT)
 
 
 # ----------------------------------------------------------------------
+# PC-predictor policies (SHiP / Hawkeye replay kernels)
+# ----------------------------------------------------------------------
+
+#: Signature space of the PC-indexed predictor tables (SHiP's SHCT,
+#: Hawkeye's OPTgen predictor).  Trace PCs are uint8 region tags, so
+#: both kernels use dense 256-entry counter arrays where the reference
+#: policies use defaultdicts.
+KERNEL_SIG_SPACE = 256
+
+#: SHiP signature-history counter bounds (``policies/ship.py``).
+SHIP_SHCT_MAX = 3
+SHIP_SHCT_INITIAL = 1
+
+#: Hawkeye RRIP depth and predictor counter bounds
+#: (``policies/hawkeye.py``).
+HAWKEYE_RRPV_MAX = 7
+HAWKEYE_COUNTER_MAX = 7
+HAWKEYE_COUNTER_INITIAL = 4
+
+
+# ----------------------------------------------------------------------
 # C parity table (simlint ``abi-constant``)
 # ----------------------------------------------------------------------
 
@@ -178,4 +205,10 @@ C_PARITY: Dict[str, int] = {
     "RM_VARIANT_INTER_ONLY": RM_VARIANT_INTER_ONLY,
     "RM_VARIANT_INTER_INTRA": RM_VARIANT_INTER_INTRA,
     "RM_VARIANT_SINGLE_EPOCH": RM_VARIANT_SINGLE_EPOCH,
+    "KERNEL_SIG_SPACE": KERNEL_SIG_SPACE,
+    "SHIP_SHCT_MAX": SHIP_SHCT_MAX,
+    "SHIP_SHCT_INITIAL": SHIP_SHCT_INITIAL,
+    "HAWKEYE_RRPV_MAX": HAWKEYE_RRPV_MAX,
+    "HAWKEYE_COUNTER_MAX": HAWKEYE_COUNTER_MAX,
+    "HAWKEYE_COUNTER_INITIAL": HAWKEYE_COUNTER_INITIAL,
 }

@@ -52,7 +52,14 @@ from ..cache.stats import CacheStats
 from ..errors import SimulationError
 from ..memory.trace import MemoryTrace, decode_trace
 from . import artifacts
-from .kernels import KernelRequest, replay_bit_plru_stream, resolve_kernel
+from .kernels import (
+    KernelRequest,
+    compiled_next_use,
+    compiled_set_partition,
+    fused_private_filter,
+    replay_bit_plru_stream,
+    resolve_kernel,
+)
 
 __all__ = [
     "PrivateFilter",
@@ -106,6 +113,11 @@ class PrivateFilter:
     writes: np.ndarray
     vertices: np.ndarray
     indices: np.ndarray              # original trace positions
+    # Construction-phase wall seconds (0.0 on rehydrated filters; the
+    # fused compiled pass decodes inline, so its whole cost lands in
+    # filter_seconds and decode_seconds stays 0.0).
+    decode_seconds: float = 0.0
+    filter_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         # Single choke point covering both freshly-built filters and
@@ -115,7 +127,7 @@ class PrivateFilter:
             self.mask, self.lines, self.pcs, self.writes,
             self.vertices, self.indices,
         )
-        self._lists: Optional[tuple] = None
+        self._channel_lists: Dict[str, list] = {}
         self._compact_next_use: Optional[np.ndarray] = None
         self._partition_arrays: Dict[int, tuple] = {}
         self._partitions: Dict[int, tuple] = {}
@@ -136,6 +148,24 @@ class PrivateFilter:
             if stats is not None
         ]
 
+    def channel_lists(self, *channels: str) -> tuple:
+        """The named channels as plain lists, memoized per channel.
+
+        The per-access loops read Python scalars per element, so each
+        channel is boxed once and shared — but only for the channels a
+        caller actually names. The pure replay kernels read two or
+        three of the five channels; requesting just those keeps the
+        ``.tolist()`` cost off the ones nobody iterates.
+        """
+        out = []
+        for name in channels:
+            cached = self._channel_lists.get(name)
+            if cached is None:
+                cached = np.asarray(getattr(self, name)).tolist()
+                self._channel_lists[name] = cached
+            out.append(cached)
+        return tuple(out)
+
     def as_lists(self) -> tuple:
         """``(lines, pcs, writes, vertices, indices)`` as plain lists.
 
@@ -143,15 +173,9 @@ class PrivateFilter:
         element, so one boxing pass here is shared by every generic
         replay of this filter.
         """
-        if self._lists is None:
-            self._lists = (
-                np.asarray(self.lines).tolist(),
-                np.asarray(self.pcs).tolist(),
-                np.asarray(self.writes).tolist(),
-                np.asarray(self.vertices).tolist(),
-                np.asarray(self.indices).tolist(),
-            )
-        return self._lists
+        return self.channel_lists(
+            "lines", "pcs", "writes", "vertices", "indices"
+        )
 
     def compact_next_use(self) -> np.ndarray:
         """Next-use chain in *compact* (LLC-visible-stream) coordinates.
@@ -165,14 +189,16 @@ class PrivateFilter:
         if self._compact_next_use is None:
             lines = np.asarray(self.lines)
             m = len(lines)
-            next_use = np.full(m, m, dtype=np.int64)
-            if m:
-                pos = np.arange(m, dtype=np.int64)
-                order = np.lexsort((pos, lines))
-                sorted_lines = lines[order]
-                sorted_pos = pos[order]
-                same = sorted_lines[:-1] == sorted_lines[1:]
-                next_use[sorted_pos[:-1][same]] = sorted_pos[1:][same]
+            next_use = compiled_next_use(lines)
+            if next_use is None:
+                next_use = np.full(m, m, dtype=np.int64)
+                if m:
+                    pos = np.arange(m, dtype=np.int64)
+                    order = np.lexsort((pos, lines))
+                    sorted_lines = lines[order]
+                    sorted_pos = pos[order]
+                    same = sorted_lines[:-1] == sorted_lines[1:]
+                    next_use[sorted_pos[:-1][same]] = sorted_pos[1:][same]
             _freeze(next_use)
             self._compact_next_use = next_use
         return self._compact_next_use
@@ -192,15 +218,19 @@ class PrivateFilter:
         if cached is None:
             lines = np.asarray(self.lines)
             set_idx = self.set_index_array(config)
-            order = np.argsort(set_idx, kind="stable")
-            cached = (
-                np.bincount(set_idx, minlength=num_sets).astype(np.int64),
-                np.ascontiguousarray(lines[order], dtype=np.int64),
-                np.ascontiguousarray(
-                    np.asarray(self.writes)[order], dtype=np.uint8
-                ),
-                order,
+            cached = compiled_set_partition(
+                lines, np.asarray(self.writes), set_idx, num_sets
             )
+            if cached is None:
+                order = np.argsort(set_idx, kind="stable")
+                cached = (
+                    np.bincount(set_idx, minlength=num_sets).astype(np.int64),
+                    np.ascontiguousarray(lines[order], dtype=np.int64),
+                    np.ascontiguousarray(
+                        np.asarray(self.writes)[order], dtype=np.uint8
+                    ),
+                    order,
+                )
             _freeze(*cached)
             self._partition_arrays[num_sets] = cached
         return cached
@@ -305,9 +335,46 @@ def filter_key(config: HierarchyConfig) -> tuple:
 def build_private_filter(
     trace: MemoryTrace, config: HierarchyConfig
 ) -> PrivateFilter:
-    """Replay the deterministic Bit-PLRU private levels once."""
+    """Replay the deterministic Bit-PLRU private levels once (phase 1+2).
+
+    Compiled path: one fused :func:`~repro.sim.kernels.fused_private_filter`
+    call decodes each address and replays both private levels inline in
+    access order — no decoded channel arrays, no per-level
+    argsort-partition / boolean-mask / fancy-index round-trips. Pure
+    path: :func:`decode_trace` plus one :func:`replay_bit_plru_stream`
+    pass per level, bit-identical by construction (the fused-front-end
+    equivalence suite proves it). Phase timings land on the filter; the
+    fused pass decodes inline, so its ``decode_seconds`` is 0.0.
+    """
     line_shift = config.line_size.bit_length() - 1
+    start = time.perf_counter()  # simlint: allow[determinism-time]
+    fused = fused_private_filter(
+        trace.addresses, trace.writes, line_shift, config.l1, config.l2
+    )
+    if fused is not None:
+        visible_idx, vis_lines, vis_writes, l1_stats, l2_stats = fused
+        n = len(trace.addresses)
+        mask = np.zeros(n, dtype=bool)
+        mask[visible_idx] = True
+        elapsed = time.perf_counter() - start  # simlint: allow[determinism-time]
+        return PrivateFilter(
+            key=filter_key(config),
+            num_accesses=n,
+            mask=mask,
+            l1_stats=l1_stats,
+            l2_stats=l2_stats,
+            l1_hits=l1_stats.hits if l1_stats is not None else 0,
+            l2_hits=l2_stats.hits if l2_stats is not None else 0,
+            lines=vis_lines,
+            pcs=trace.pcs[visible_idx],
+            writes=vis_writes,
+            vertices=trace.vertices[visible_idx],
+            indices=visible_idx,
+            decode_seconds=0.0,
+            filter_seconds=elapsed,
+        )
     decoded = decode_trace(trace, line_shift)
+    decode_seconds = time.perf_counter() - start  # simlint: allow[determinism-time]
     n = len(decoded)
     visible_idx = np.arange(n, dtype=np.int64)
     vis_lines = decoded.lines
@@ -336,6 +403,7 @@ def build_private_filter(
 
     mask = np.zeros(n, dtype=bool)
     mask[visible_idx] = True
+    elapsed = time.perf_counter() - start  # simlint: allow[determinism-time]
     return PrivateFilter(
         key=filter_key(config),
         num_accesses=n,
@@ -349,6 +417,8 @@ def build_private_filter(
         writes=vis_writes,
         vertices=decoded.vertices[visible_idx],
         indices=visible_idx,
+        decode_seconds=decode_seconds,
+        filter_seconds=elapsed - decode_seconds,
     )
 
 
@@ -383,9 +453,15 @@ class EngineRun:
     levels: List[CacheStats]       # L1/L2 snapshots + final LLC stats
     level_counts: List[int]        # indexed by LEVEL_* constants
     llc: Optional[SetAssociativeCache]  # None on the kernel path
-    seconds: float
+    seconds: float                 # total wall time of this run() call
     filter: PrivateFilter
     kernel: Optional[str] = None   # replay kernel used, if any
+    # Amdahl phase split: decode/filter are non-zero only on the run
+    # that actually built the filter (reuses and rehydrations are
+    # pay-once by design); replay is the phase-3 LLC pass alone.
+    decode_seconds: float = 0.0
+    filter_seconds: float = 0.0
+    replay_seconds: float = 0.0
 
     @property
     def accesses_per_second(self) -> float:
@@ -428,9 +504,12 @@ class ReplayEngine:
         back to the per-access loop transparently.
         """
         start = time.perf_counter()  # simlint: allow[determinism-time]
+        built_before = self.prepared.filter_counters["built"]
         filt = get_private_filter(self.prepared, self.hierarchy_config)
+        fresh_build = self.prepared.filter_counters["built"] > built_before
         if llc_config is None:
             llc_config = self.hierarchy_config.llc
+        replay_start = time.perf_counter()  # simlint: allow[determinism-time]
 
         kernel_name: Optional[str] = None
         kernel_fn = None
@@ -474,7 +553,9 @@ class ReplayEngine:
                         sanitizer.check_stats(llc.stats)
             llc_stats = llc.stats
 
-        seconds = time.perf_counter() - start  # simlint: allow[determinism-time]
+        end = time.perf_counter()  # simlint: allow[determinism-time]
+        replay_seconds = end - replay_start
+        seconds = end - start
         levels = filt.level_stats() + [llc_stats.copy()]
         if sanitizer is not None:
             sanitizer.check_end_of_replay(
@@ -494,6 +575,9 @@ class ReplayEngine:
             seconds=seconds,
             filter=filt,
             kernel=kernel_name,
+            decode_seconds=filt.decode_seconds if fresh_build else 0.0,
+            filter_seconds=filt.filter_seconds if fresh_build else 0.0,
+            replay_seconds=replay_seconds,
         )
 
 
@@ -506,13 +590,15 @@ def llc_visible_next_use(
     in **original trace** coordinates.
 
     Belady at the LLC must rank lines by their next *LLC* access;
-    accesses absorbed by L1/L2 never reach it. The LLC-visible mask comes
-    from the shared private-level filter (cached on ``prepared`` when
-    given), and the next-use chain is computed with one vectorized
-    grouped sort instead of a backward Python scan: sorting the visible
-    positions by (line, position) makes each access's successor its
-    neighbor in sort order. Accesses with no later LLC-visible reference
-    — including all private-level hits — get ``len(trace)``.
+    accesses absorbed by L1/L2 never reach it. Derived without touching
+    the decoded trace: the filter's compact next-use chain
+    (:meth:`PrivateFilter.compact_next_use`, compiled when available)
+    is translated to original coordinates through ``filt.indices`` —
+    the original->compact position mapping is strictly increasing, so
+    ``orig[indices[k]] = indices[compact[k]]`` for every chained access
+    and the result is element-identical to the former lexsort over
+    decoded visible positions. Accesses with no later LLC-visible
+    reference — including all private-level hits — get ``len(trace)``.
 
     See :func:`llc_compact_next_use` for the same chain expressed in
     compacted LLC-visible-stream positions (what the replay kernels
@@ -526,16 +612,13 @@ def llc_visible_next_use(
         filt = build_private_filter(trace, config)
     n = filt.num_accesses
     next_use = np.full(n, n, dtype=np.int64)
-    visible = np.nonzero(filt.mask)[0]
-    if len(visible) == 0:
+    m = filt.llc_visible
+    if m == 0:
         return next_use
-    line_shift = config.line_size.bit_length() - 1
-    lines = decode_trace(trace, line_shift).lines[visible]
-    order = np.lexsort((visible, lines))
-    sorted_lines = lines[order]
-    sorted_pos = visible[order]
-    same_line = sorted_lines[:-1] == sorted_lines[1:]
-    next_use[sorted_pos[:-1][same_line]] = sorted_pos[1:][same_line]
+    compact = filt.compact_next_use()
+    indices = np.asarray(filt.indices)
+    chained = compact < m
+    next_use[indices[chained]] = indices[compact[chained]]
     return next_use
 
 

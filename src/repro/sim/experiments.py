@@ -112,11 +112,16 @@ def engine_throughput_sweep(
             prepared = prepare_run(PageRank(), graph)
             start = time.perf_counter()  # simlint: allow[determinism-time]
             misses: Dict[str, int] = {}
+            decode_total = filter_total = replay_total = 0.0
             for policy in policies:
                 result = simulate_prepared(
                     prepared, policy, hierarchy, engine=engine
                 )
                 misses[policy] = result.llc.misses
+                engine_details = result.details["engine"]
+                decode_total += engine_details["decode_seconds"]
+                filter_total += engine_details["filter_seconds"]
+                replay_total += engine_details["replay_seconds"]
             seconds = time.perf_counter() - start  # simlint: allow[determinism-time]
             if engine == "reference":
                 reference_seconds = seconds
@@ -127,6 +132,12 @@ def engine_throughput_sweep(
                 "policies": len(policies),
                 "accesses_replayed": replayed,
                 "seconds": round(seconds, 4),
+                # Amdahl phase split, summed over the sweep: decode and
+                # filter are paid once (first policy builds the filter),
+                # replay once per policy.
+                "decode_seconds": round(decode_total, 4),
+                "filter_seconds": round(filter_total, 4),
+                "replay_seconds": round(replay_total, 4),
                 "accesses_per_s": (
                     round(replayed / seconds) if seconds > 0 else 0
                 ),
@@ -144,7 +155,9 @@ def engine_throughput_sweep(
     return rows
 
 
-KERNEL_SWEEP_POLICIES = ("LRU", "SRRIP", "DRRIP", "OPT")
+KERNEL_SWEEP_POLICIES = (
+    "LRU", "SRRIP", "DRRIP", "OPT", "SHiP-PC", "Hawkeye"
+)
 
 
 def kernel_throughput_sweep(

@@ -120,9 +120,15 @@ from ..policies.rrip import BRRIP
 from ..popt.arch import PoptCounters
 from . import ckernels, worker_state
 from .constants import (
+    HAWKEYE_COUNTER_INITIAL,
+    HAWKEYE_COUNTER_MAX,
+    HAWKEYE_RRPV_MAX,
+    KERNEL_SIG_SPACE,
     POPT_SPARAM_SLOTS,
     POPT_STREAMING_NEXT_REF,
     RM_VARIANT_CODES,
+    SHIP_SHCT_INITIAL,
+    SHIP_SHCT_MAX,
     TOPT_NEVER,
 )
 
@@ -134,6 +140,9 @@ __all__ = [
     "KERNEL_TABLE",
     "resolve_kernel",
     "replay_bit_plru_stream",
+    "fused_private_filter",
+    "compiled_next_use",
+    "compiled_set_partition",
 ]
 
 
@@ -323,6 +332,126 @@ def replay_bit_plru_stream(
     stats.evictions = evictions
     stats.writebacks = writebacks
     return hit_mask, stats
+
+
+# ----------------------------------------------------------------------
+# Fused compiled front-end (phases 1+2 and the filter's products)
+# ----------------------------------------------------------------------
+
+
+def fused_private_filter(
+    addresses: np.ndarray,
+    writes: np.ndarray,
+    line_shift: int,
+    l1: Optional[CacheConfig],
+    l2: Optional[CacheConfig],
+) -> Optional[tuple]:
+    """Fused phase-1/2 pass via ``k_private_filter``, or None.
+
+    Decodes each address to a line and replays the L1 and (on L1 miss)
+    L2 Bit-PLRU filters inline in access order, emitting the compact
+    LLC-visible stream in one C call — no decoded channel arrays, no
+    argsort partitions, no boolean-mask fancy-indexing round-trips.
+    Access-order replay of independent sets is bit-identical to the
+    set-partitioned replay :func:`replay_bit_plru_stream` performs, so
+    the emitted stream and per-level stats match the pure construction
+    exactly (the fused-front-end equivalence suite proves it).
+
+    Returns ``(visible_idx, lines, writes, l1_stats, l2_stats)`` with
+    a level's stats ``None`` when its config is ``None``; returns
+    ``None`` when no compiled library is available (pure fallback runs
+    in ``engine.build_private_filter``).
+    """
+    clib = ckernels.lib()
+    if clib is None:
+        return None
+    n = len(addresses)
+    addr_arr = np.ascontiguousarray(addresses, dtype=np.int64)
+    writes_u8 = np.ascontiguousarray(writes, dtype=np.uint8)
+    l1_sets = l1.num_sets if l1 is not None else 0
+    l1_ways = l1.num_ways if l1 is not None else 0
+    l1_pow2 = 1 if l1 is not None and l1.sets_are_power_of_two else 0
+    l2_sets = l2.num_sets if l2 is not None else 0
+    l2_ways = l2.num_ways if l2 is not None else 0
+    l2_pow2 = 1 if l2 is not None and l2.sets_are_power_of_two else 0
+    visible_idx = np.empty(n, dtype=np.int64)
+    vis_lines = np.empty(n, dtype=np.int64)
+    vis_writes = np.empty(n, dtype=np.uint8)
+    out = np.zeros(9, dtype=np.int64)
+    scratch = 3 * l1_sets * l1_ways + l1_sets + 3 * l2_sets * l2_ways + l2_sets
+    clib.k_private_filter(
+        _i64(addr_arr), _u8(writes_u8), n, line_shift,
+        l1_sets, l1_ways, l1_pow2, l2_sets, l2_ways, l2_pow2,
+        _i64(visible_idx), _i64(vis_lines), _u8(vis_writes),
+        _i64(_ws(scratch)), _i64(out),
+    )
+    counters = out.tolist()
+    m = counters[0]
+    l1_stats = _finish(l1, *counters[1:5]) if l1 is not None else None
+    l2_stats = _finish(l2, *counters[5:9]) if l2 is not None else None
+    return (
+        visible_idx[:m].copy(),
+        vis_lines[:m].copy(),
+        vis_writes[:m].copy().view(np.bool_),
+        l1_stats,
+        l2_stats,
+    )
+
+
+def compiled_next_use(lines: np.ndarray) -> Optional[np.ndarray]:
+    """Compact next-use chain via ``k_next_use``, or None.
+
+    One backward C scan with an open-addressing line map replaces the
+    ``np.lexsort`` neighbour-compare in
+    :meth:`~repro.sim.engine.PrivateFilter.compact_next_use`; values
+    are identical (next position of the same line, stream length when
+    never seen again).
+    """
+    clib = ckernels.lib()
+    if clib is None:
+        return None
+    m = len(lines)
+    next_use = np.empty(m, dtype=np.int64)
+    if m == 0:
+        return next_use
+    cap = 1
+    while cap < 2 * m:
+        cap <<= 1
+    lines_arr = np.ascontiguousarray(lines, dtype=np.int64)
+    clib.k_next_use(_i64(lines_arr), m, cap, _i64(_ws(2 * cap)), _i64(next_use))
+    return next_use
+
+
+def compiled_set_partition(
+    lines: np.ndarray,
+    writes: np.ndarray,
+    set_idx: np.ndarray,
+    num_sets: int,
+) -> Optional[tuple]:
+    """Stable set partition via ``k_set_partition``, or None.
+
+    A counting sort over the precomputed set indices produces the same
+    ``(counts, sorted_lines, sorted_writes, order)`` quadruple as the
+    ``np.argsort(kind="stable")`` path in
+    :meth:`~repro.sim.engine.PrivateFilter.set_partition_arrays`.
+    """
+    clib = ckernels.lib()
+    if clib is None:
+        return None
+    n = len(lines)
+    counts = np.empty(num_sets, dtype=np.int64)
+    order = np.empty(n, dtype=np.int64)
+    sorted_lines = np.empty(n, dtype=np.int64)
+    sorted_writes = np.empty(n, dtype=np.uint8)
+    lines_arr = np.ascontiguousarray(lines, dtype=np.int64)
+    writes_arr = np.ascontiguousarray(writes, dtype=np.uint8)
+    sidx_arr = np.ascontiguousarray(set_idx, dtype=np.int64)
+    clib.k_set_partition(
+        _i64(lines_arr), _u8(writes_arr), _i64(sidx_arr), n, num_sets,
+        _i64(counts), _i64(order), _i64(sorted_lines), _u8(sorted_writes),
+        _i64(_ws(num_sets)),
+    )
+    return counts, sorted_lines, sorted_writes, order
 
 
 # ----------------------------------------------------------------------
@@ -684,7 +813,7 @@ def kernel_brrip(req: KernelRequest) -> CacheStats:
         return _finish(config, *out.tolist())
     num_sets = config.num_sets
     num_ways = config.num_ways
-    lines, _, writes, _, _ = req.filt.as_lists()
+    lines, writes = req.filt.channel_lists("lines", "writes")
     sidx = req.filt.set_index_list(config)
     draw = random.Random(policy._seed).random
     where: List[Dict[int, int]] = [{} for _ in range(num_sets)]
@@ -775,7 +904,7 @@ def kernel_drrip(req: KernelRequest) -> CacheStats:
             _i64(_ws(3 * num_sets * num_ways + num_sets)), _i64(out),
         )
         return _finish(config, *out.tolist())
-    lines, _, writes, _, _ = req.filt.as_lists()
+    lines, writes = req.filt.channel_lists("lines", "writes")
     sidx = req.filt.set_index_list(config)
     draw = random.Random(policy._seed).random
     psel = psel_max // 2
@@ -830,6 +959,272 @@ def kernel_drrip(req: KernelRequest) -> CacheStats:
                 rrpv_s[way] = insert_long
             else:
                 rrpv_s[way] = insert_long if draw() < trickle else rmax
+    return _finish(config, hits, misses, evictions, writebacks)
+
+
+def kernel_ship(req: KernelRequest) -> CacheStats:
+    """SHiP-PC: SRRIP substrate + global signature history table.
+
+    The SHCT couples every set through PC signatures, so the kernel
+    keeps access order. Trace PCs are uint8 region tags, so the
+    reference's ``defaultdict`` SHCT becomes a dense
+    ``KERNEL_SIG_SPACE``-entry counter array with identical semantics
+    (counters saturate in ``[0, SHCT_MAX]`` from ``SHCT_INITIAL``).
+    Only the PC-signature flavor dispatches here (``SHiP.replay_kernel``
+    gates on ``signature_kind``); SHiP-Mem stays on the generic path.
+    """
+    config = req.config
+    policy = req.policy
+    num_sets = config.num_sets
+    num_ways = config.num_ways
+    rmax = policy.rrpv_max
+    shct_max = policy.SHCT_MAX
+    shct_init = policy.SHCT_INITIAL
+    clib = ckernels.lib()
+    if (
+        clib is not None
+        and (shct_max, shct_init) == (SHIP_SHCT_MAX, SHIP_SHCT_INITIAL)
+    ):
+        filt = req.filt
+        n = len(filt.lines)
+        lines_arr = np.ascontiguousarray(filt.lines, dtype=np.int64)
+        writes_arr = np.ascontiguousarray(filt.writes, dtype=np.uint8)
+        pcs_arr = np.ascontiguousarray(filt.pcs, dtype=np.uint8)
+        sidx = filt.set_index_array(config)
+        out = np.zeros(4, dtype=np.int64)
+        clib.k_ship(
+            _i64(lines_arr), _u8(writes_arr), _u8(pcs_arr), _i64(sidx), n,
+            num_sets, num_ways, rmax,
+            _i64(_ws(5 * num_sets * num_ways + num_sets + KERNEL_SIG_SPACE)),
+            _i64(out),
+        )
+        return _finish(config, *out.tolist())
+    lines, pcs, writes = req.filt.channel_lists("lines", "pcs", "writes")
+    sidx = req.filt.set_index_list(config)
+    shct = [shct_init] * KERNEL_SIG_SPACE
+    where: List[Dict[int, int]] = [{} for _ in range(num_sets)]
+    resident = [[INVALID_TAG] * num_ways for _ in range(num_sets)]
+    rrpv = [[rmax] * num_ways for _ in range(num_sets)]
+    sig = [[0] * num_ways for _ in range(num_sets)]
+    reused = [[False] * num_ways for _ in range(num_sets)]
+    dirty = [[False] * num_ways for _ in range(num_sets)]
+    filled = [0] * num_sets
+    hits = misses = evictions = writebacks = 0
+    for k in range(len(lines)):
+        line = lines[k]
+        s = sidx[k]
+        where_s = where[s]
+        way = where_s.get(line)
+        if way is not None:
+            hits += 1
+            if writes[k]:
+                dirty[s][way] = True
+            rrpv[s][way] = 0
+            if not reused[s][way]:
+                reused[s][way] = True
+                sg = sig[s][way]
+                if shct[sg] < shct_max:
+                    shct[sg] += 1
+        else:
+            misses += 1
+            rrpv_s = rrpv[s]
+            if filled[s] < num_ways:
+                way = filled[s]
+                filled[s] = way + 1
+            else:
+                top = max(rrpv_s)
+                if top != rmax:
+                    bump = rmax - top
+                    for w in range(num_ways):
+                        rrpv_s[w] += bump
+                way = rrpv_s.index(rmax)
+                evictions += 1
+                if dirty[s][way]:
+                    writebacks += 1
+                if not reused[s][way]:
+                    sg = sig[s][way]
+                    if shct[sg] > 0:
+                        shct[sg] -= 1
+                del where_s[resident[s][way]]
+            resident[s][way] = line
+            where_s[line] = way
+            dirty[s][way] = writes[k]
+            pc = pcs[k]
+            sig[s][way] = pc
+            reused[s][way] = False
+            rrpv_s[way] = rmax if shct[pc] == 0 else rmax - 1
+    return _finish(config, hits, misses, evictions, writebacks)
+
+
+def kernel_hawkeye(req: KernelRequest) -> CacheStats:
+    """Hawkeye: sampled OPTgen + PC predictor, kept in access order.
+
+    The predictor couples every set, so the stream is replayed in
+    original order with per-sampled-set OPTgen state. Two
+    transformations versus :mod:`repro.policies.hawkeye`, both
+    verdict-preserving:
+
+    - The occupancy vector becomes a fixed ``window``-length circular
+      buffer (append + head-trim never lets it grow past ``window``).
+    - The per-set ``last_access`` dicts (which the reference prunes for
+      memory) become one unpruned map keyed by line: a line maps to
+      exactly one set, and a pruned entry would fail the
+      ``clock - previous <= window`` liveness test at any later lookup
+      anyway, so verdicts are identical.
+
+    PCs are uint8, so the predictor is a dense ``KERNEL_SIG_SPACE``
+    counter array. Victim choice is Hawkeye's own (first way at
+    ``RRPV_MAX``, else first way at the maximum RRPV — no aging).
+    """
+    config = req.config
+    policy = req.policy
+    num_sets = config.num_sets
+    num_ways = config.num_ways
+    rmax = policy.RRPV_MAX
+    cmax = policy.COUNTER_MAX
+    cinit = policy.COUNTER_INITIAL
+    sample_every = policy.sample_every
+    window = policy.history_factor * num_ways
+    clib = ckernels.lib()
+    if (
+        clib is not None
+        and (rmax, cmax, cinit)
+        == (HAWKEYE_RRPV_MAX, HAWKEYE_COUNTER_MAX, HAWKEYE_COUNTER_INITIAL)
+    ):
+        filt = req.filt
+        n = len(filt.lines)
+        lines_arr = np.ascontiguousarray(filt.lines, dtype=np.int64)
+        writes_arr = np.ascontiguousarray(filt.writes, dtype=np.uint8)
+        pcs_arr = np.ascontiguousarray(filt.pcs, dtype=np.uint8)
+        sidx = filt.set_index_array(config)
+        num_sampled = (num_sets + sample_every - 1) // sample_every
+        cap = 1
+        while cap < 2 * (n + 1):
+            cap <<= 1
+        total = num_sets * num_ways
+        scratch = (
+            4 * total + num_sets + KERNEL_SIG_SPACE
+            + num_sampled * (window + 3) + 3 * cap
+        )
+        out = np.zeros(4, dtype=np.int64)
+        clib.k_hawkeye(
+            _i64(lines_arr), _u8(writes_arr), _u8(pcs_arr), _i64(sidx), n,
+            num_sets, num_ways, sample_every, window, cap,
+            _i64(_ws(scratch)), _i64(out),
+        )
+        return _finish(config, *out.tolist())
+    lines, pcs, writes = req.filt.channel_lists("lines", "pcs", "writes")
+    sidx = req.filt.set_index_list(config)
+    predictor = [cinit] * KERNEL_SIG_SPACE
+    occ: List[Optional[List[int]]] = [None] * num_sets
+    occ_start = [0] * num_sets
+    occ_len = [0] * num_sets
+    clocks = [0] * num_sets
+    last_time: List[Optional[Dict[int, int]]] = [None] * num_sets
+    last_pc: List[Optional[Dict[int, int]]] = [None] * num_sets
+    for s in range(0, num_sets, sample_every):
+        occ[s] = [0] * window
+        last_time[s] = {}
+        last_pc[s] = {}
+
+    def train(s: int, line: int, pc: int) -> None:
+        # One OPTgen training step (record + predictor update) for a
+        # sampled set -- inlined _SetHistory.record over the circular
+        # occupancy buffer.
+        oc = occ[s]
+        st = occ_start[s]
+        olen = occ_len[s]
+        ck = clocks[s]
+        lt = last_time[s]
+        prev = lt.get(line)
+        verdict = None
+        if prev is not None and ck - prev <= window:
+            start_off = prev - (ck - olen)
+            if start_off >= 0:
+                ok = True
+                for j in range(start_off, olen):
+                    if oc[(st + j) % window] >= num_ways:
+                        ok = False
+                        break
+                if ok:
+                    for j in range(start_off, olen):
+                        oc[(st + j) % window] += 1
+                    verdict = True
+                else:
+                    verdict = False
+        if olen < window:
+            oc[(st + olen) % window] = 0
+            occ_len[s] = olen + 1
+        else:
+            oc[st] = 0
+            occ_start[s] = (st + 1) % window
+        lt[line] = ck
+        clocks[s] = ck + 1
+        lp = last_pc[s]
+        tpc = lp.get(line)
+        if verdict is not None and tpc is not None:
+            c = predictor[tpc]
+            if verdict:
+                if c < cmax:
+                    predictor[tpc] = c + 1
+            elif c > 0:
+                predictor[tpc] = c - 1
+        lp[line] = pc
+
+    where: List[Dict[int, int]] = [{} for _ in range(num_sets)]
+    resident = [[INVALID_TAG] * num_ways for _ in range(num_sets)]
+    rrpv = [[rmax] * num_ways for _ in range(num_sets)]
+    line_pc = [[0] * num_ways for _ in range(num_sets)]
+    dirty = [[False] * num_ways for _ in range(num_sets)]
+    filled = [0] * num_sets
+    age_cap = rmax - 1
+    hits = misses = evictions = writebacks = 0
+    for k in range(len(lines)):
+        line = lines[k]
+        s = sidx[k]
+        pc = pcs[k]
+        where_s = where[s]
+        way = where_s.get(line)
+        if way is not None:
+            hits += 1
+            if writes[k]:
+                dirty[s][way] = True
+            if occ[s] is not None:
+                train(s, line, pc)
+            line_pc[s][way] = pc
+            if predictor[pc] >= cinit:
+                rrpv[s][way] = 0
+        else:
+            misses += 1
+            rrpv_s = rrpv[s]
+            if filled[s] < num_ways:
+                way = filled[s]
+                filled[s] = way + 1
+            else:
+                way = (
+                    rrpv_s.index(rmax) if rmax in rrpv_s
+                    else rrpv_s.index(max(rrpv_s))
+                )
+                evictions += 1
+                if dirty[s][way]:
+                    writebacks += 1
+                vpc = line_pc[s][way]
+                if predictor[vpc] >= cinit and predictor[vpc] > 0:
+                    predictor[vpc] -= 1
+                del where_s[resident[s][way]]
+            resident[s][way] = line
+            where_s[line] = way
+            dirty[s][way] = writes[k]
+            if occ[s] is not None:
+                train(s, line, pc)
+            line_pc[s][way] = pc
+            if predictor[pc] >= cinit:
+                for w in range(num_ways):
+                    if w != way and rrpv_s[w] < age_cap:
+                        rrpv_s[w] += 1
+                rrpv_s[way] = 0
+            else:
+                rrpv_s[way] = rmax
     return _finish(config, hits, misses, evictions, writebacks)
 
 
@@ -1090,7 +1485,7 @@ def kernel_popt(req: KernelRequest) -> CacheStats:
         (replacements, streaming_evictions, rm_lookups,
          ties, tie_candidates) = cnt.tolist()
     else:
-        lines, _, writes, _, _ = filt.as_lists()
+        lines, writes = filt.channel_lists("lines", "writes")
         sidx = filt.set_index_list(config)
         verts = verts_arr.tolist()
         sid = sid_arr.tolist()
@@ -1267,6 +1662,8 @@ KERNEL_TABLE: Dict[str, Callable[[KernelRequest], CacheStats]] = {
     "srrip": kernel_srrip,
     "brrip": kernel_brrip,
     "drrip": kernel_drrip,
+    "ship": kernel_ship,
+    "hawkeye": kernel_hawkeye,
     "opt": kernel_opt,
     "t-opt": kernel_topt,
     "p-opt": kernel_popt,

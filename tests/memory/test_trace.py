@@ -142,3 +142,47 @@ class TestSerialization:
         np.savez(path, foo=np.arange(3))
         with pytest.raises(SimulationError):
             MemoryTrace.load(path)
+
+
+class TestPickle:
+    def test_pickle_drops_decode_memo(self):
+        import pickle
+
+        from repro.memory.trace import decode_trace
+
+        t = make_trace(
+            list(range(0, 64 * 4096, 64)),
+            writes=[i % 3 == 0 for i in range(4096)],
+        )
+        baseline = len(pickle.dumps(t))
+        # Decode twice (two line sizes) and materialize the list views —
+        # the memo now dwarfs the channels themselves.
+        for shift in (6, 7):
+            decode_trace(t, shift).as_lists()
+        assert hasattr(t, "_decoded")
+        blob = pickle.dumps(t)
+        # The pickle carries only the four channels: same size as before
+        # the decode (small slack for protocol framing noise).
+        assert len(blob) <= baseline + 256
+        restored = pickle.loads(blob)
+        assert not hasattr(restored, "_decoded")
+        assert np.array_equal(restored.addresses, t.addresses)
+        assert np.array_equal(restored.pcs, t.pcs)
+        assert np.array_equal(restored.writes, t.writes)
+        assert np.array_equal(restored.vertices, t.vertices)
+        # The restored trace decodes fresh and correctly.
+        decoded = decode_trace(restored, 6)
+        assert np.array_equal(decoded.lines, restored.addresses >> 6)
+
+    def test_channel_lists_memoized_per_channel(self):
+        from repro.memory.trace import decode_trace
+
+        t = make_trace([0, 64, 128, 64])
+        decoded = decode_trace(t, 6)
+        (lines,) = decoded.channel_lists("lines")
+        assert lines == [0, 1, 2, 1]
+        # Only the requested channel is materialized...
+        assert set(decoded._channel_lists) == {"lines"}
+        # ...and repeated requests share the same list object.
+        assert decoded.channel_lists("lines")[0] is lines
+        assert decoded.as_lists()[0] is lines

@@ -320,7 +320,8 @@ class TestEngineRunShape:
 
 # Policies whose replay has a dedicated kernel (KERNEL_TABLE coverage).
 KERNEL_POLICIES = (
-    "LRU", "LIP", "Bit-PLRU", "Random", "SRRIP", "BRRIP", "DRRIP", "OPT"
+    "LRU", "LIP", "Bit-PLRU", "Random", "SRRIP", "BRRIP", "DRRIP", "OPT",
+    "SHiP-PC", "Hawkeye",
 )
 
 
