@@ -22,7 +22,7 @@ import os
 from pathlib import Path
 from typing import Dict, List, Sequence
 
-from repro.graph.datasets import graph_names
+from repro.graph.datasets import graph_names, is_file_spec
 from repro.sim.artifacts import get_store
 from repro.sim.tables import format_table
 
@@ -30,6 +30,7 @@ RESULTS_DIR = Path(__file__).parent / "results"
 ENGINE_REPORT = RESULTS_DIR / "BENCH_engine.json"
 KERNEL_REPORT = RESULTS_DIR / "BENCH_kernels.json"
 POPT_KERNEL_REPORT = RESULTS_DIR / "BENCH_popt_kernels.json"
+DYNAMIC_REPORT = RESULTS_DIR / "BENCH_dynamic.json"
 
 
 def get_scale() -> str:
@@ -41,18 +42,22 @@ def get_graphs() -> Sequence[str]:
 
     A typo'd graph name used to surface minutes later as a KeyError deep
     inside ``datasets.load``; fail fast here instead, listing the valid
-    names.
+    names. ``file:<path>`` specs pass through unvalidated — their loader
+    already fails fast with the offending path.
     """
     raw = os.environ.get("REPRO_GRAPHS", "")
     if not raw:
         return tuple(graph_names())
     names = tuple(name.strip() for name in raw.split(",") if name.strip())
     valid = tuple(graph_names())
-    unknown = [name for name in names if name not in valid]
+    unknown = [
+        name for name in names
+        if name not in valid and not is_file_spec(name)
+    ]
     if unknown:
         raise SystemExit(
             f"REPRO_GRAPHS names unknown graph(s) {unknown!r}; "
-            f"valid names: {', '.join(valid)}"
+            f"valid names: {', '.join(valid)} or file:<path> specs"
         )
     return names
 
@@ -127,6 +132,20 @@ def write_popt_kernel_report(rows: List[Dict[str, object]]) -> Path:
         json.dumps({"scale": get_scale(), "rows": rows}, indent=2) + "\n"
     )
     return POPT_KERNEL_REPORT
+
+
+def write_dynamic_report(payload: Dict[str, object]) -> Path:
+    """Persist dynamic-graph RM update timings as ``BENCH_dynamic.json``.
+
+    Per delta batch size: full-rebuild vs incremental-update seconds,
+    the speedup, and bit-identity of the resulting matrices; plus the
+    crossover batch size where the incremental path stops winning. CI
+    asserts identity everywhere and a >=2x incremental speedup for
+    small batches.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    DYNAMIC_REPORT.write_text(json.dumps(payload, indent=2) + "\n")
+    return DYNAMIC_REPORT
 
 
 def run_once(benchmark, fn, *args, **kwargs):

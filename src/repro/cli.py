@@ -18,7 +18,12 @@ Examples::
         --policies LRU,DRRIP,P-OPT,T-OPT
     python -m repro experiment fig07 --scale small
     python -m repro matrix --scale tiny --jobs 4 --artifacts build/arts
+    python -m repro run --app PR --graph file:tests/graph/data/karate.el
     python -m repro tables
+
+``file:<path>`` graph specs load real graphs from disk
+(``.el``/``.wel``/``.mtx``/``.sg``/``.npz``) anywhere a graph name is
+accepted; see ``repro.graph.io``.
 """
 
 from __future__ import annotations
@@ -62,6 +67,17 @@ def _graph_choices():
     ]
 
 
+def _graph_spec(value: str) -> str:
+    """argparse type for --graph: a known stand-in or a file:<path>."""
+    if datasets.is_file_spec(value) or value in _graph_choices():
+        return value
+    raise argparse.ArgumentTypeError(
+        f"unknown graph {value!r}; choose from "
+        f"{', '.join(_graph_choices())} or pass file:<path> "
+        f"(.el/.wel/.mtx/.sg/.npz)"
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -72,7 +88,8 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="simulate one app/graph/policy")
     run.add_argument("--app", choices=sorted(APP_FACTORIES), default="PR")
     run.add_argument(
-        "--graph", choices=_graph_choices(), default="URAND"
+        "--graph", type=_graph_spec, default="URAND",
+        help="a named stand-in or file:<path> to a real graph",
     )
     run.add_argument("--policy", default="P-OPT")
     run.add_argument(
@@ -90,7 +107,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--app", choices=sorted(APP_FACTORIES), default="PR"
     )
     compare.add_argument(
-        "--graph", choices=_graph_choices(), default="URAND"
+        "--graph", type=_graph_spec, default="URAND",
+        help="a named stand-in or file:<path> to a real graph",
     )
     compare.add_argument(
         "--policies", default="LRU,DRRIP,P-OPT,T-OPT",
@@ -134,7 +152,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     matrix.add_argument(
         "--graphs", default="",
-        help="comma-separated graph subset (default: all stand-ins)",
+        help="comma-separated graph subset; names and file:<path> "
+             "specs both work (default: all stand-ins)",
     )
     matrix.add_argument(
         "--techniques", default="",

@@ -7,6 +7,13 @@ configurable scale, paired with a proportionally scaled cache (see
 ``repro.cache.config.scaled_hierarchy``). The working-set >> LLC regime —
 the property every experiment depends on — is preserved at all scales.
 
+Real graphs enter through ``file:<path>`` specs: any spec string with
+the ``file:`` prefix loads the file via :func:`repro.graph.io.load_graph`
+(format chosen by extension — ``.el``/``.wel``/``.mtx``/``.sg``/``.npz``)
+instead of a generator. ``file:`` specs are accepted everywhere a graph
+name is — :func:`load`, experiment specs, and the CLI — with scale and
+seed ignored (a file's topology is fixed).
+
 ==========  =======================  ==========================================
 Paper name  Structural class         Stand-in generator
 ==========  =======================  ==========================================
@@ -36,10 +43,31 @@ __all__ = [
     "SCALES",
     "PAPER_GRAPHS",
     "EXTENDED_GRAPHS",
+    "FILE_PREFIX",
+    "is_file_spec",
+    "file_spec_path",
     "graph_names",
     "load",
     "paper_table3",
 ]
+
+#: Prefix marking a graph spec as file-backed rather than generated.
+FILE_PREFIX = "file:"
+
+
+def is_file_spec(name: str) -> bool:
+    """True if ``name`` is a ``file:<path>`` graph spec."""
+    return name.startswith(FILE_PREFIX)
+
+
+def file_spec_path(name: str) -> str:
+    """The filesystem path inside a ``file:<path>`` spec."""
+    if not is_file_spec(name):
+        raise GraphFormatError(f"{name!r} is not a file: graph spec")
+    path = name[len(FILE_PREFIX):]
+    if not path:
+        raise GraphFormatError("empty path in file: graph spec")
+    return path
 
 #: Vertex counts per scale profile. "small" is the default used by tests
 #: and benchmarks; "tiny" is for unit tests; larger profiles trade runtime
@@ -156,12 +184,21 @@ def graph_names() -> List[str]:
 
 
 def load(name: str, scale: str = "small", seed: int = 42) -> CSRGraph:
-    """Generate the stand-in for the named paper graph."""
+    """Load the graph for a spec: a paper name or a ``file:<path>``.
+
+    For ``file:`` specs the file's topology is what it is — ``scale``
+    and ``seed`` are ignored.
+    """
+    if is_file_spec(name):
+        from . import io
+
+        return io.load_graph(file_spec_path(name))
     try:
         spec = _BY_NAME[name]
     except KeyError:
         raise GraphFormatError(
-            f"unknown graph {name!r}; choose from {graph_names()}"
+            f"unknown graph {name!r}; choose from {graph_names()} "
+            f"or a {FILE_PREFIX}<path> spec"
         ) from None
     return spec.generate(scale=scale, seed=seed)
 

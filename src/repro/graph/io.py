@@ -1,65 +1,425 @@
-"""Graph serialization: text edge lists (.el) and binary CSR (.npz)."""
+"""Graph serialization and real-graph ingestion.
+
+Formats:
+
+- ``.el``  — SNAP/GAP-style text edge list (``src dst`` per line).
+- ``.wel`` — weighted text edge list (``src dst weight`` per line).
+- ``.mtx`` — MatrixMarket coordinate files (pattern/integer/real,
+  general or symmetric) as published by SuiteSparse and many archives.
+- ``.sg``  — the GAP benchmark suite's serialized binary CSR.
+- ``.npz`` — this library's own binary CSR archive.
+
+Text loaders parse in fixed-size byte blocks: each block is normalized
+(CRLF and lone ``\\r`` endings, tab or space separators), comment lines
+are filtered, and the surviving tokens are converted with one vectorized
+``np.array(block.split(), dtype=...)`` call — no per-line Python loop.
+The trailing partial line of every block carries into the next, so
+blocks always cover whole lines. CSR construction streams the chunks
+through :func:`repro.graph.builders.from_edges_chunked` (two passes over
+the file), so edge files much larger than the resident trace working
+set ingest without ever materializing a full ``(E, 2)`` edge array.
+
+All loaders funnel malformed input into :class:`GraphFormatError` with
+the offending path (and line, where known) — never a downstream
+``IndexError``. Binary CSR payloads (``.npz``, ``.sg``) pass through
+:func:`validate_csr_arrays` before a :class:`CSRGraph` is built.
+"""
 
 from __future__ import annotations
 
 import os
-from typing import Union
+import zipfile
+from typing import (
+    BinaryIO,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    Optional,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
 from ..errors import GraphFormatError
-from .builders import from_edges
+from .builders import from_edges_chunked
 from .csr import CSRGraph
 
 __all__ = [
+    "GRAPH_FORMATS",
     "save_edge_list",
     "load_edge_list",
     "save_weighted_edge_list",
     "load_weighted_edge_list",
     "save_csr",
     "load_csr",
+    "save_matrix_market",
+    "load_matrix_market",
+    "save_gap_binary",
+    "load_gap_binary",
+    "load_graph",
+    "validate_csr_arrays",
 ]
 
 PathLike = Union[str, "os.PathLike[str]"]
+
+#: Bytes of text parsed per block by the chunked loaders. Small enough
+#: to keep one block cache-resident, large enough to amortize the numpy
+#: conversion call.
+DEFAULT_CHUNK_BYTES = 1 << 22
+
+#: Edges per ``np.savetxt`` block in the text writers.
+_WRITE_BLOCK_EDGES = 1 << 16
+
+#: Comment prefixes tolerated in text edge lists (SNAP uses ``#``,
+#: MatrixMarket and some converters use ``%``).
+_COMMENT_PREFIXES = (b"#", b"%")
+
+# GAP .sg serialization: <flag:u8> <num_edges:i64> <num_vertices:i64>
+# <offsets:i64[n+1]> <neighbors:i32[m]> and, when the flag marks the
+# graph directed, the same pair again for the inverse (in-neighbor)
+# direction. Explicit little-endian dtypes keep files portable.
+_SG_OFFSET_DTYPE = np.dtype("<i8")
+_SG_NEIGHBOR_DTYPE = np.dtype("<i4")
+
+
+# ----------------------------------------------------------------------
+# Shared validation
+# ----------------------------------------------------------------------
+
+
+def _coerce_integral(
+    array: np.ndarray, dtype: np.dtype, what: str, where: str
+) -> np.ndarray:
+    """Coerce ``array`` to an integral dtype, rejecting lossy casts."""
+    array = np.asarray(array)
+    if array.dtype == dtype:
+        return array
+    if np.issubdtype(array.dtype, np.floating):
+        if array.size and not np.all(np.isfinite(array)):
+            raise GraphFormatError(f"{where}: non-finite {what}")
+        if array.size and not np.array_equal(array, np.trunc(array)):
+            raise GraphFormatError(f"{where}: fractional {what}")
+    elif not (
+        np.issubdtype(array.dtype, np.integer)
+        or np.issubdtype(array.dtype, np.bool_)
+    ):
+        raise GraphFormatError(
+            f"{where}: {what} has non-numeric dtype {array.dtype}"
+        )
+    return array.astype(dtype)
+
+
+def validate_csr_arrays(
+    offsets: np.ndarray, neighbors: np.ndarray, where: str = "CSR arrays"
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate and coerce raw CSR arrays before building a graph.
+
+    Checks everything a corrupt archive can violate — offsets present,
+    1-D, starting at 0, monotonically non-decreasing, ending exactly at
+    ``len(neighbors)``, and neighbor IDs non-negative and in range —
+    raising :class:`GraphFormatError` tagged with ``where`` (typically
+    the file path) instead of letting a later traversal hit a raw
+    ``IndexError``. Returns ``(offsets, neighbors)`` coerced to the
+    library's canonical int64/int32 dtypes.
+    """
+    offsets = np.asarray(offsets)
+    neighbors = np.asarray(neighbors)
+    if offsets.ndim != 1 or neighbors.ndim != 1:
+        raise GraphFormatError(
+            f"{where}: offsets and neighbors must be 1-D arrays"
+        )
+    offsets = _coerce_integral(offsets, np.dtype(np.int64), "offsets", where)
+    neighbors = _coerce_integral(
+        neighbors, np.dtype(np.int32), "neighbor IDs", where
+    )
+    if len(offsets) == 0:
+        raise GraphFormatError(f"{where}: offsets array is empty")
+    if offsets[0] != 0:
+        raise GraphFormatError(
+            f"{where}: offsets must start at 0, got {int(offsets[0])}"
+        )
+    if len(offsets) > 1 and bool(np.any(np.diff(offsets) < 0)):
+        raise GraphFormatError(f"{where}: offsets are not monotonic")
+    if int(offsets[-1]) != len(neighbors):
+        raise GraphFormatError(
+            f"{where}: offsets end at {int(offsets[-1])} but there are "
+            f"{len(neighbors)} neighbors"
+        )
+    num_vertices = len(offsets) - 1
+    if len(neighbors):
+        low = int(neighbors.min())
+        high = int(neighbors.max())
+        if low < 0:
+            raise GraphFormatError(f"{where}: negative neighbor ID {low}")
+        if high >= num_vertices:
+            raise GraphFormatError(
+                f"{where}: neighbor ID {high} out of range for "
+                f"{num_vertices} vertices"
+            )
+    return offsets, neighbors
+
+
+def _sorted_segments(offsets: np.ndarray, neighbors: np.ndarray) -> bool:
+    """True if every CSR segment's neighbor list is ascending."""
+    if len(neighbors) < 2:
+        return True
+    diffs = np.diff(neighbors.astype(np.int64))
+    within = np.ones(len(diffs), dtype=bool)
+    boundaries = offsets[1:-1] - 1
+    boundaries = boundaries[(boundaries >= 0) & (boundaries < len(diffs))]
+    within[boundaries] = False
+    return not bool(np.any(diffs[within] < 0))
+
+
+def _csr_from_validated(
+    offsets: np.ndarray, neighbors: np.ndarray
+) -> CSRGraph:
+    """Build a graph, restoring the sorted-neighbor invariant if the
+    external file stored unsorted adjacency lists (T-OPT's transpose
+    walks binary-search them)."""
+    if not _sorted_segments(offsets, neighbors):
+        num_vertices = len(offsets) - 1
+        sources = np.repeat(
+            np.arange(num_vertices, dtype=np.int64), np.diff(offsets)
+        )
+        neighbors = neighbors[np.lexsort((neighbors, sources))]
+    return CSRGraph(offsets=offsets, neighbors=neighbors)
+
+
+# ----------------------------------------------------------------------
+# Chunked text tokenization
+# ----------------------------------------------------------------------
+
+
+def _scan_directive(comment: bytes, directives: Dict[str, int]) -> None:
+    """Record ``# vertices N`` style metadata found in a comment line."""
+    parts = comment.lstrip(b"#%").split()
+    if len(parts) == 2 and parts[0] == b"vertices":
+        try:
+            directives["vertices"] = int(parts[1])
+        except ValueError:
+            pass
+
+
+def _block_tokens(
+    block: bytes,
+    path: PathLike,
+    directives: Dict[str, int],
+    dtype: np.dtype,
+) -> Optional[np.ndarray]:
+    """Tokenize one block of whole lines into a flat numeric array."""
+    block = block.replace(b"\r", b"\n")  # CRLF / bare-CR dumps
+    if any(prefix in block for prefix in _COMMENT_PREFIXES):
+        kept = []
+        for line in block.split(b"\n"):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped[:1] in _COMMENT_PREFIXES:
+                _scan_directive(stripped, directives)
+                continue
+            kept.append(line)
+        if not kept:
+            return None
+        block = b"\n".join(kept)
+    tokens = block.split()
+    if not tokens:
+        return None
+    try:
+        return np.array(tokens, dtype=dtype)
+    except (ValueError, OverflowError):
+        raise GraphFormatError(
+            f"{path}: non-numeric token in edge data"
+        ) from None
+
+
+def _iter_token_blocks(
+    handle: BinaryIO,
+    path: PathLike,
+    directives: Dict[str, int],
+    chunk_bytes: int,
+    dtype: np.dtype,
+) -> Iterator[np.ndarray]:
+    """Yield token arrays from fixed-size blocks covering whole lines."""
+    carry = b""
+    while True:
+        block = handle.read(chunk_bytes)
+        if not block:
+            break
+        block = carry + block
+        cut = block.rfind(b"\n")
+        if cut < 0:
+            carry = block
+            continue
+        carry = block[cut + 1:]
+        tokens = _block_tokens(block[:cut + 1], path, directives, dtype)
+        if tokens is not None:
+            yield tokens
+    if carry:
+        tokens = _block_tokens(carry, path, directives, dtype)
+        if tokens is not None:
+            yield tokens
+
+
+def _raise_misaligned(path: PathLike, columns: int, label: str) -> None:
+    """Re-read ``path`` line-by-line to pinpoint the malformed line.
+
+    Only runs on the error path: the fast block tokenizer detects a
+    column-count mismatch without line numbers, then this slow pass
+    recovers the diagnostic the block parse gave up.
+    """
+    with open(path, "rb") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            stripped = raw.strip()
+            if not stripped or stripped[:1] in _COMMENT_PREFIXES:
+                continue
+            if len(stripped.split()) != columns:
+                raise GraphFormatError(
+                    f"{path}:{line_number}: expected {label!r}, got "
+                    f"{stripped.decode('ascii', 'replace')!r}"
+                )
+    raise GraphFormatError(f"{path}: token count is not a multiple of "
+                           f"{columns} ({label!r} lines expected)")
+
+
+def _edge_token_chunks(
+    path: PathLike,
+    directives: Dict[str, int],
+    chunk_bytes: int,
+    columns: int,
+    label: str,
+) -> Iterator[np.ndarray]:
+    """Yield ``(E_i, columns)`` int64 arrays from a text edge file."""
+    with open(path, "rb") as handle:
+        for tokens in _iter_token_blocks(
+            handle, path, directives, chunk_bytes, np.dtype(np.int64)
+        ):
+            if tokens.size % columns:
+                _raise_misaligned(path, columns, label)
+            yield tokens.reshape(-1, columns)
+
+
+def _directive_resolver(
+    directives: Dict[str, int], fallback: Optional[int]
+) -> Callable[[], Optional[int]]:
+    """A ``# vertices N`` directive wins over the caller's argument,
+    matching the historical loader semantics."""
+
+    def resolve() -> Optional[int]:
+        return directives.get("vertices", fallback)
+
+    return resolve
+
+
+# ----------------------------------------------------------------------
+# Text edge lists (.el / .wel)
+# ----------------------------------------------------------------------
 
 
 def save_edge_list(graph: CSRGraph, path: PathLike) -> None:
     """Write ``graph`` as a whitespace-separated ``src dst`` text file.
 
-    The format matches the GAP benchmark suite's ``.el`` files.
+    The format matches the GAP benchmark suite's ``.el`` files. Rows go
+    out in buffered ``np.savetxt`` blocks rather than one Python-level
+    ``write`` per edge.
     """
     edges = graph.edge_array()
     with open(path, "w", encoding="ascii") as handle:
         handle.write(f"# vertices {graph.num_vertices}\n")
-        for src, dst in edges:
-            handle.write(f"{src} {dst}\n")
+        for start in range(0, len(edges), _WRITE_BLOCK_EDGES):
+            np.savetxt(
+                handle, edges[start:start + _WRITE_BLOCK_EDGES], fmt="%d"
+            )
 
 
-def load_edge_list(path: PathLike, num_vertices: int = None) -> CSRGraph:
-    """Read a ``src dst`` text file written by :func:`save_edge_list`.
+def load_edge_list(
+    path: PathLike,
+    num_vertices: Optional[int] = None,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> CSRGraph:
+    """Read a ``src dst`` text file (SNAP / GAP ``.el`` style).
 
-    A leading ``# vertices N`` comment pins the vertex count; otherwise it
-    is inferred from the maximum ID. Blank lines and ``#`` comments are
-    skipped.
+    A ``# vertices N`` comment pins the vertex count; otherwise it is
+    inferred from the maximum ID. Blank lines and ``#``/``%`` comments
+    are skipped; tabs and CRLF line endings (both appear in real SNAP
+    dumps) are tolerated. Parsing is block-wise — see the module
+    docstring — so multi-gigabyte edge lists stream.
     """
-    edges = []
-    with open(path, "r", encoding="ascii") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            if line.startswith("#"):
-                parts = line[1:].split()
-                if len(parts) == 2 and parts[0] == "vertices":
-                    num_vertices = int(parts[1])
-                continue
-            parts = line.split()
-            if len(parts) < 2:
-                raise GraphFormatError(
-                    f"{path}:{line_number}: expected 'src dst', got {line!r}"
-                )
-            edges.append((int(parts[0]), int(parts[1])))
-    return from_edges(edges, num_vertices=num_vertices)
+    directives: Dict[str, int] = {}
+
+    def chunks() -> Iterator[np.ndarray]:
+        return _edge_token_chunks(
+            path, directives, chunk_bytes, 2, "src dst"
+        )
+
+    graph = from_edges_chunked(
+        chunks,
+        resolve_num_vertices=_directive_resolver(directives, num_vertices),
+    )
+    assert isinstance(graph, CSRGraph)
+    return graph
+
+
+def save_weighted_edge_list(
+    graph: CSRGraph, weights: Iterable[int], path: PathLike
+) -> None:
+    """Write ``src dst weight`` lines (the GAP suite's ``.wel`` format).
+
+    ``weights`` holds one integer weight per CSR edge, in edge order.
+    """
+    weight_array = np.asarray(weights)
+    if len(weight_array) != graph.num_edges:
+        raise GraphFormatError(
+            f"expected {graph.num_edges} weights, got {len(weight_array)}"
+        )
+    edges = graph.edge_array()
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(f"# vertices {graph.num_vertices}\n")
+        for start in range(0, len(edges), _WRITE_BLOCK_EDGES):
+            stop = start + _WRITE_BLOCK_EDGES
+            np.savetxt(
+                handle,
+                np.column_stack(
+                    [edges[start:stop], weight_array[start:stop]]
+                ),
+                fmt="%d",
+            )
+
+
+def load_weighted_edge_list(
+    path: PathLike,
+    num_vertices: Optional[int] = None,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> Tuple[CSRGraph, np.ndarray]:
+    """Read a ``.wel`` file; returns ``(graph, weights)``.
+
+    Weights come back in the graph's edge order: edges are re-sorted by
+    ``(src, dst)`` during CSR construction and each weight follows its
+    edge (parallel edges keep file order). Separator/comment/line-ending
+    tolerance matches :func:`load_edge_list`.
+    """
+    directives: Dict[str, int] = {}
+
+    def chunks() -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        for block in _edge_token_chunks(
+            path, directives, chunk_bytes, 3, "src dst weight"
+        ):
+            yield block[:, :2], block[:, 2]
+
+    result = from_edges_chunked(
+        chunks,
+        resolve_num_vertices=_directive_resolver(directives, num_vertices),
+        with_payload=True,
+    )
+    assert isinstance(result, tuple)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Binary CSR archives (.npz)
+# ----------------------------------------------------------------------
 
 
 def save_csr(graph: CSRGraph, path: PathLike) -> None:
@@ -70,61 +430,280 @@ def save_csr(graph: CSRGraph, path: PathLike) -> None:
 
 
 def load_csr(path: PathLike) -> CSRGraph:
-    """Read a graph saved by :func:`save_csr`."""
-    with np.load(path) as data:
-        if "offsets" not in data or "neighbors" not in data:
-            raise GraphFormatError(f"{path}: not a CSR archive")
-        return CSRGraph(
-            offsets=data["offsets"], neighbors=data["neighbors"]
-        )
+    """Read a graph saved by :func:`save_csr`.
 
-
-def save_weighted_edge_list(graph: CSRGraph, weights, path: PathLike) -> None:
-    """Write ``src dst weight`` lines (the GAP suite's ``.wel`` format).
-
-    ``weights`` holds one integer weight per CSR edge, in edge order.
+    Corrupt archives — truncated zip members, missing arrays, wrong
+    dtypes, non-monotonic offsets, out-of-range neighbor IDs — raise
+    :class:`GraphFormatError` naming the path, instead of surfacing
+    later as a raw ``IndexError`` mid-simulation.
     """
-    weights = np.asarray(weights)
-    if len(weights) != graph.num_edges:
+    try:
+        with np.load(path) as data:
+            if "offsets" not in data or "neighbors" not in data:
+                raise GraphFormatError(
+                    f"{path}: not a CSR archive (offsets/neighbors missing)"
+                )
+            offsets = np.array(data["offsets"])
+            neighbors = np.array(data["neighbors"])
+    except (OSError, ValueError, EOFError, zipfile.BadZipFile) as exc:
+        raise GraphFormatError(f"{path}: unreadable CSR archive ({exc})")
+    offsets, neighbors = validate_csr_arrays(offsets, neighbors, str(path))
+    return _csr_from_validated(offsets, neighbors)
+
+
+# ----------------------------------------------------------------------
+# MatrixMarket coordinate files (.mtx)
+# ----------------------------------------------------------------------
+
+_MTX_FIELDS = ("pattern", "integer", "real")
+_MTX_SYMMETRIES = ("general", "symmetric")
+
+
+def _read_mtx_header(
+    handle: BinaryIO, path: PathLike
+) -> Tuple[str, str, int, int, int, int]:
+    """Parse the banner + size line; returns
+    ``(field, symmetry, rows, cols, nnz, data_offset)``."""
+    banner = handle.readline().split()
+    if len(banner) != 5 or banner[0].lower() != b"%%matrixmarket":
+        raise GraphFormatError(f"{path}: missing MatrixMarket banner")
+    kind, layout, field, symmetry = (
+        token.decode("ascii", "replace").lower() for token in banner[1:]
+    )
+    if kind != "matrix" or layout != "coordinate":
         raise GraphFormatError(
-            f"expected {graph.num_edges} weights, got {len(weights)}"
+            f"{path}: only 'matrix coordinate' MatrixMarket files are "
+            f"supported, got '{kind} {layout}'"
         )
+    if field not in _MTX_FIELDS:
+        raise GraphFormatError(
+            f"{path}: unsupported MatrixMarket field {field!r} "
+            f"(supported: {', '.join(_MTX_FIELDS)})"
+        )
+    if symmetry not in _MTX_SYMMETRIES:
+        raise GraphFormatError(
+            f"{path}: unsupported MatrixMarket symmetry {symmetry!r} "
+            f"(supported: {', '.join(_MTX_SYMMETRIES)})"
+        )
+    while True:
+        line = handle.readline()
+        if not line:
+            raise GraphFormatError(f"{path}: missing MatrixMarket size line")
+        stripped = line.strip()
+        if not stripped or stripped.startswith(b"%"):
+            continue
+        parts = stripped.split()
+        if len(parts) != 3:
+            raise GraphFormatError(
+                f"{path}: malformed size line "
+                f"{stripped.decode('ascii', 'replace')!r}"
+            )
+        try:
+            rows, cols, nnz = (int(part) for part in parts)
+        except ValueError:
+            raise GraphFormatError(
+                f"{path}: non-integer MatrixMarket size line"
+            ) from None
+        if rows < 0 or cols < 0 or nnz < 0:
+            raise GraphFormatError(f"{path}: negative MatrixMarket sizes")
+        return field, symmetry, rows, cols, nnz, handle.tell()
+
+
+def load_matrix_market(
+    path: PathLike, chunk_bytes: int = DEFAULT_CHUNK_BYTES
+) -> CSRGraph:
+    """Read a MatrixMarket coordinate file as a directed graph.
+
+    Entry ``i j [value]`` becomes edge ``i-1 -> j-1`` (values are
+    dropped; ``real`` and ``integer`` fields are accepted so weighted
+    matrices ingest as topology). ``symmetric`` files mirror every
+    off-diagonal entry, matching the usual adjacency interpretation.
+    Entries stream through the same chunked tokenizer as the edge-list
+    loaders.
+    """
+    with open(path, "rb") as handle:
+        field, symmetry, rows, cols, nnz, data_offset = _read_mtx_header(
+            handle, path
+        )
+    columns = 2 if field == "pattern" else 3
+    token_dtype = np.dtype(
+        np.float64 if field == "real" else np.int64
+    )
+    num_vertices = max(rows, cols)
+    seen = {"entries": 0}
+
+    def chunks() -> Iterator[np.ndarray]:
+        seen["entries"] = 0
+        directives: Dict[str, int] = {}
+        with open(path, "rb") as handle:
+            handle.seek(data_offset)
+            for tokens in _iter_token_blocks(
+                handle, path, directives, chunk_bytes, token_dtype
+            ):
+                if tokens.size % columns:
+                    _raise_misaligned(
+                        path, columns,
+                        "i j" if columns == 2 else "i j value",
+                    )
+                pairs = tokens.reshape(-1, columns)[:, :2]
+                pairs = pairs.astype(np.int64) - 1  # 1-indexed entries
+                seen["entries"] += len(pairs)
+                if symmetry == "symmetric":
+                    mirrored = pairs[pairs[:, 0] != pairs[:, 1]]
+                    pairs = np.vstack([pairs, mirrored[:, ::-1]])
+                yield pairs
+
+    graph = from_edges_chunked(chunks, num_vertices=num_vertices)
+    if seen["entries"] != nnz:
+        raise GraphFormatError(
+            f"{path}: size line declares {nnz} entries but file holds "
+            f"{seen['entries']}"
+        )
+    assert isinstance(graph, CSRGraph)
+    return graph
+
+
+def save_matrix_market(
+    graph: CSRGraph, path: PathLike, comment: str = ""
+) -> None:
+    """Write ``graph`` as a ``pattern general`` MatrixMarket file."""
     edges = graph.edge_array()
     with open(path, "w", encoding="ascii") as handle:
-        handle.write(f"# vertices {graph.num_vertices}\n")
-        for (src, dst), weight in zip(edges, weights):
-            handle.write(f"{src} {dst} {weight}\n")
+        handle.write("%%MatrixMarket matrix coordinate pattern general\n")
+        if comment:
+            handle.write(f"% {comment}\n")
+        handle.write(
+            f"{graph.num_vertices} {graph.num_vertices} "
+            f"{graph.num_edges}\n"
+        )
+        for start in range(0, len(edges), _WRITE_BLOCK_EDGES):
+            np.savetxt(
+                handle,
+                edges[start:start + _WRITE_BLOCK_EDGES] + 1,
+                fmt="%d",
+            )
 
 
-def load_weighted_edge_list(path: PathLike, num_vertices: int = None):
-    """Read a ``.wel`` file; returns ``(graph, weights)``.
+# ----------------------------------------------------------------------
+# GAP serialized binary graphs (.sg)
+# ----------------------------------------------------------------------
 
-    Weights are returned in the graph's edge order (edges are re-sorted
-    by (src, dst) during CSR construction).
+
+def _read_exact(
+    handle: BinaryIO, dtype: np.dtype, count: int, path: PathLike,
+    what: str,
+) -> np.ndarray:
+    array = np.fromfile(handle, dtype=dtype, count=count)
+    if len(array) != count:
+        raise GraphFormatError(
+            f"{path}: truncated .sg file while reading {what} "
+            f"({len(array)}/{count} values)"
+        )
+    return array
+
+
+def _read_sg_direction(
+    handle: BinaryIO, num_vertices: int, num_edges: int, path: PathLike,
+    what: str,
+) -> Tuple[np.ndarray, np.ndarray]:
+    offsets = _read_exact(
+        handle, _SG_OFFSET_DTYPE, num_vertices + 1, path, f"{what} offsets"
+    )
+    neighbors = _read_exact(
+        handle, _SG_NEIGHBOR_DTYPE, num_edges, path, f"{what} neighbors"
+    )
+    return validate_csr_arrays(offsets, neighbors, str(path))
+
+
+def load_gap_binary(path: PathLike) -> CSRGraph:
+    """Read a GAP-style serialized binary CSR (``.sg``).
+
+    Layout: a directed flag byte, ``int64`` edge and vertex counts, the
+    out-direction ``(offsets, neighbors)`` arrays, and — when the flag
+    is set — the in-direction pair as well. Both directions pass the
+    full CSR validation, and the stored inverse must agree with the out
+    direction's degree profile; the returned graph is the out direction
+    (its transpose is recomputed on demand rather than trusted).
     """
-    records = []
-    with open(path, "r", encoding="ascii") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            if line.startswith("#"):
-                parts = line[1:].split()
-                if len(parts) == 2 and parts[0] == "vertices":
-                    num_vertices = int(parts[1])
-                continue
-            parts = line.split()
-            if len(parts) < 3:
+    with open(path, "rb") as handle:
+        flag = handle.read(1)
+        if flag not in (b"\x00", b"\x01"):
+            raise GraphFormatError(
+                f"{path}: not a .sg file (bad directed flag)"
+            )
+        header = _read_exact(handle, _SG_OFFSET_DTYPE, 2, path, "header")
+        num_edges, num_vertices = int(header[0]), int(header[1])
+        if num_edges < 0 or num_vertices < 0:
+            raise GraphFormatError(f"{path}: negative .sg header counts")
+        offsets, neighbors = _read_sg_direction(
+            handle, num_vertices, num_edges, path, "out"
+        )
+        if flag == b"\x01":
+            in_offsets, in_neighbors = _read_sg_direction(
+                handle, num_vertices, num_edges, path, "in"
+            )
+            out_degrees = np.diff(offsets)
+            in_degrees = np.diff(in_offsets)
+            consistent = np.array_equal(
+                np.bincount(neighbors, minlength=num_vertices), in_degrees
+            ) and np.array_equal(
+                np.bincount(in_neighbors, minlength=num_vertices),
+                out_degrees,
+            )
+            if not consistent:
                 raise GraphFormatError(
-                    f"{path}:{line_number}: expected 'src dst weight', "
-                    f"got {line!r}"
+                    f"{path}: stored in-direction is not the transpose "
+                    f"of the out-direction"
                 )
-            records.append((int(parts[0]), int(parts[1]), int(parts[2])))
-    if not records:
-        graph = from_edges([], num_vertices=num_vertices or 0)
-        return graph, np.empty(0, dtype=np.int64)
-    array = np.asarray(records, dtype=np.int64)
-    graph = from_edges(array[:, :2], num_vertices=num_vertices)
-    # Reorder weights to match the CSR's (src, dst)-sorted edge order.
-    order = np.lexsort((array[:, 1], array[:, 0]))
-    return graph, array[order, 2]
+    return _csr_from_validated(offsets, neighbors)
+
+
+def save_gap_binary(
+    graph: CSRGraph, path: PathLike, include_transpose: bool = True
+) -> None:
+    """Write ``graph`` in GAP-style serialized binary CSR form."""
+    with open(path, "wb") as handle:
+        handle.write(b"\x01" if include_transpose else b"\x00")
+        np.array(
+            [graph.num_edges, graph.num_vertices], dtype=_SG_OFFSET_DTYPE
+        ).tofile(handle)
+        graph.offsets.astype(_SG_OFFSET_DTYPE).tofile(handle)
+        graph.neighbors.astype(_SG_NEIGHBOR_DTYPE).tofile(handle)
+        if include_transpose:
+            transpose = graph.transpose()
+            transpose.offsets.astype(_SG_OFFSET_DTYPE).tofile(handle)
+            transpose.neighbors.astype(_SG_NEIGHBOR_DTYPE).tofile(handle)
+
+
+# ----------------------------------------------------------------------
+# Auto-dispatch
+# ----------------------------------------------------------------------
+
+#: Extension -> loader for :func:`load_graph` (``file:`` dataset specs).
+GRAPH_FORMATS: Dict[str, Callable[[PathLike], CSRGraph]] = {
+    ".el": load_edge_list,
+    ".wel": lambda path: load_weighted_edge_list(path)[0],
+    ".mtx": load_matrix_market,
+    ".sg": load_gap_binary,
+    ".npz": load_csr,
+}
+
+
+def load_graph(path: PathLike) -> CSRGraph:
+    """Load a graph file, dispatching on its extension.
+
+    Supports every format in :data:`GRAPH_FORMATS`; this is the loader
+    behind ``file:<path>`` dataset specs (see
+    :mod:`repro.graph.datasets`).
+    """
+    text = os.fspath(path)
+    if not os.path.exists(text):
+        raise GraphFormatError(f"{text}: graph file does not exist")
+    suffix = os.path.splitext(text)[1].lower()
+    loader = GRAPH_FORMATS.get(suffix)
+    if loader is None:
+        raise GraphFormatError(
+            f"{text}: unsupported graph format {suffix!r} "
+            f"(supported: {', '.join(sorted(GRAPH_FORMATS))})"
+        )
+    return loader(path)

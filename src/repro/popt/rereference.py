@@ -44,6 +44,7 @@ from ..sim.constants import (
 __all__ = [
     "RereferenceMatrix",
     "build_rereference_matrix",
+    "update_rereference_matrix",
     "epoch_geometry",
 ]
 
@@ -216,6 +217,56 @@ class RereferenceMatrix:
         return out
 
 
+def _encode_entries(
+    referenced: np.ndarray,
+    last_sub: np.ndarray,
+    entry_bits: int,
+    variant: str,
+) -> np.ndarray:
+    """Encode per-line reference events into matrix entries (int64).
+
+    ``referenced``/``last_sub`` are ``(rows, num_epochs)`` arrays for
+    any subset of lines. The right-to-left distance scan and the field
+    packing are independent per row — the property that makes the
+    incremental path in :func:`update_rereference_matrix` bit-identical
+    to a full rebuild: re-encoding only the changed rows reproduces
+    exactly the rows the rebuild would produce.
+    """
+    rows, num_epochs = referenced.shape
+    sentinel = rm_sentinel(entry_bits, variant)
+
+    # Distance (in epochs) from each epoch to the next referencing epoch.
+    # Scan columns right-to-left carrying the next referencing epoch.
+    next_epoch = np.full(rows, np.iinfo(np.int64).max // 2, np.int64)
+    distance = np.empty((rows, num_epochs), dtype=np.int64)
+    for epoch in range(num_epochs - 1, -1, -1):
+        column_referenced = referenced[:, epoch]
+        gap = np.minimum(next_epoch - epoch, sentinel)
+        distance[:, epoch] = np.where(column_referenced, 0, gap)
+        next_epoch = np.where(column_referenced, epoch, next_epoch)
+
+    entries = np.empty((rows, num_epochs), dtype=np.int64)
+    if variant == "inter_only":
+        # Entry is the raw distance (0 while the epoch still references).
+        entries[:] = np.minimum(distance, sentinel)
+    else:
+        msb = rm_msb(entry_bits)
+        max_sub = sentinel
+        clamped_sub = np.minimum(last_sub, max_sub)
+        # Referenced epochs: MSB=0, low bits = final-access sub-epoch.
+        # Unreferenced epochs: MSB=1, low bits = clamped distance.
+        inter = msb | np.minimum(distance, sentinel)
+        entries[:] = np.where(referenced, clamped_sub, inter)
+        if variant == "single_epoch":
+            next_bit = rm_next_bit(entry_bits, variant)
+            accessed_next = np.zeros((rows, num_epochs), dtype=bool)
+            accessed_next[:, :-1] = referenced[:, 1:]
+            entries[:] = np.where(
+                referenced & accessed_next, entries | next_bit, entries
+            )
+    return entries
+
+
 def build_rereference_matrix(
     reference_graph: CSRGraph,
     elems_per_line: int,
@@ -257,36 +308,7 @@ def build_rereference_matrix(
     referenced.ravel()[flat] = True
     np.maximum.at(last_sub.ravel(), flat, subs)
 
-    # Distance (in epochs) from each epoch to the next referencing epoch.
-    # Scan columns right-to-left carrying the next referencing epoch.
-    sentinel = rm_sentinel(entry_bits, variant)
-    next_epoch = np.full(num_lines, np.iinfo(np.int64).max // 2, np.int64)
-    distance = np.empty((num_lines, num_epochs), dtype=np.int64)
-    for epoch in range(num_epochs - 1, -1, -1):
-        column_referenced = referenced[:, epoch]
-        gap = np.minimum(next_epoch - epoch, sentinel)
-        distance[:, epoch] = np.where(column_referenced, 0, gap)
-        next_epoch = np.where(column_referenced, epoch, next_epoch)
-
-    entries = np.empty((num_lines, num_epochs), dtype=np.int64)
-    if variant == "inter_only":
-        # Entry is the raw distance (0 while the epoch still references).
-        entries[:] = np.minimum(distance, sentinel)
-    else:
-        msb = rm_msb(entry_bits)
-        max_sub = sentinel
-        clamped_sub = np.minimum(last_sub, max_sub)
-        # Referenced epochs: MSB=0, low bits = final-access sub-epoch.
-        # Unreferenced epochs: MSB=1, low bits = clamped distance.
-        inter = msb | np.minimum(distance, sentinel)
-        entries[:] = np.where(referenced, clamped_sub, inter)
-        if variant == "single_epoch":
-            next_bit = rm_next_bit(entry_bits, variant)
-            accessed_next = np.zeros((num_lines, num_epochs), dtype=bool)
-            accessed_next[:, :-1] = referenced[:, 1:]
-            entries[:] = np.where(
-                referenced & accessed_next, entries | next_bit, entries
-            )
+    entries = _encode_entries(referenced, last_sub, entry_bits, variant)
     return RereferenceMatrix(
         entries=entries.astype(dtype),
         variant=variant,
@@ -295,4 +317,93 @@ def build_rereference_matrix(
         sub_epoch_size=sub_epoch_size,
         elems_per_line=elems_per_line,
         num_vertices=n,
+    )
+
+
+def update_rereference_matrix(
+    matrix: RereferenceMatrix,
+    reference_graph: CSRGraph,
+    changed_elements: np.ndarray,
+) -> RereferenceMatrix:
+    """Incrementally refresh a matrix after a graph delta.
+
+    ``reference_graph`` is the **post-delta** reference graph (same
+    orientation the matrix was built from) and ``changed_elements`` the
+    irregular elements whose reference lists may have changed — for a
+    matrix built over the graph's transpose, the *destinations* the
+    delta touched; for one built over the graph itself, the sources
+    (:class:`repro.graph.dynamic.DynamicEpoch` records both).
+
+    Only the cache lines covering those elements are recomputed; every
+    recomputed row is gathered fresh from the post-delta graph, so the
+    result is bit-identical to a full :func:`build_rereference_matrix`
+    over the new graph (``benchmarks/bench_dynamic.py`` measures where
+    this stops being a win as deltas grow).
+    """
+    n = reference_graph.num_vertices
+    if n != matrix.num_vertices:
+        raise PolicyError(
+            f"reference graph has {n} vertices but the matrix was built "
+            f"over {matrix.num_vertices}; the vertex set is fixed across "
+            f"dynamic epochs"
+        )
+    changed = np.unique(np.asarray(changed_elements, dtype=np.int64))
+    if len(changed) and (changed[0] < 0 or int(changed[-1]) >= n):
+        raise PolicyError("changed element ID outside the vertex range")
+    if not len(changed):
+        return matrix
+    elems_per_line = matrix.elems_per_line
+    lines = np.unique(changed // elems_per_line)
+    lines = lines[lines < matrix.num_lines]
+    if not len(lines):
+        return matrix
+
+    # Every element sharing a line with a changed element contributes
+    # reference events to that line's row, changed or not.
+    elems = (
+        lines[:, None] * elems_per_line
+        + np.arange(elems_per_line, dtype=np.int64)[None, :]
+    ).ravel()
+    elems = elems[elems < n]
+
+    # Gather the covered elements' adjacency segments in one shot.
+    starts = reference_graph.offsets[elems]
+    degrees = reference_graph.offsets[elems + 1] - starts
+    total = int(degrees.sum())
+    prefix = np.cumsum(degrees) - degrees
+    within = np.arange(total, dtype=np.int64) - np.repeat(prefix, degrees)
+    outer = reference_graph.neighbors[
+        np.repeat(starts, degrees) + within
+    ].astype(np.int64)
+
+    num_epochs = matrix.num_epochs
+    epoch_size = matrix.epoch_size
+    epochs = outer // epoch_size
+    subs = (outer - epochs * epoch_size) // matrix.sub_epoch_size
+    # Row index (within the recomputed submatrix) of each event.
+    event_rows = np.searchsorted(
+        lines, np.repeat(elems // elems_per_line, degrees)
+    )
+
+    referenced = np.zeros((len(lines), num_epochs), dtype=bool)
+    last_sub = np.zeros((len(lines), num_epochs), dtype=np.int64)
+    flat = event_rows * num_epochs + epochs
+    referenced.ravel()[flat] = True
+    np.maximum.at(last_sub.ravel(), flat, subs)
+
+    encoded = _encode_entries(
+        referenced, last_sub, matrix.entry_bits, matrix.variant
+    )
+    # Store entries may be a read-only mmap from the artifact store;
+    # always materialize a private copy before scattering rows.
+    new_entries = np.array(matrix.entries, copy=True)
+    new_entries[lines] = encoded.astype(new_entries.dtype)
+    return RereferenceMatrix(
+        entries=new_entries,
+        variant=matrix.variant,
+        entry_bits=matrix.entry_bits,
+        epoch_size=epoch_size,
+        sub_epoch_size=matrix.sub_epoch_size,
+        elems_per_line=elems_per_line,
+        num_vertices=matrix.num_vertices,
     )

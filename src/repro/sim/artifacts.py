@@ -6,7 +6,10 @@ converge on one file) to the simulator's expensive intermediates:
 
 - **graphs** — generated CSR arrays, keyed by provenance
   ``(name, scale, seed)``; generation is seed-deterministic, so the
-  recipe *is* the content.
+  recipe *is* the content. File-backed graphs (``file:<path>`` specs)
+  have no seed-determinism contract — the file can change under the
+  same path — so they key by the **content hash of the file** instead
+  (see :func:`graph_content_token`).
 - **prepared runs** — the full :class:`~repro.apps.base.PreparedRun`
   payload (trace channels, layout spans, per-stream reference CSRs,
   details), keyed by provenance ``(app, graph, scale, seed, technique,
@@ -47,7 +50,7 @@ import json
 import os
 import shutil
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -63,6 +66,8 @@ __all__ = [
     "content_digest",
     "trace_sha",
     "graph_sha",
+    "file_content_sha",
+    "graph_content_token",
     "cached_graph",
     "store_graph",
     "cached_prepared",
@@ -279,11 +284,58 @@ def configure(root) -> Optional[ArtifactStore]:
 
 
 # ----------------------------------------------------------------------
-# Graphs (provenance-keyed)
+# Graphs (provenance-keyed; file-backed graphs content-keyed)
 # ----------------------------------------------------------------------
+
+#: ``(abspath, mtime_ns, size)`` -> sha256, so repeated sweep tasks over
+#: the same graph file hash it once per process, not once per task.
+_FILE_SHA_CACHE: Dict[Tuple[str, int, int], str] = {}
+
+worker_state.register_worker_state(
+    "repro.sim.artifacts._FILE_SHA_CACHE",
+    kind="cache",
+    note="per-process file-content sha memo keyed by (path, mtime, "
+         "size); stale entries self-invalidate via the stat signature",
+)
+
+
+def file_content_sha(path) -> str:
+    """sha256 of a file's bytes, memoized on ``(path, mtime, size)``.
+
+    Chunked read, so hashing a multi-gigabyte edge list doesn't load it.
+    """
+    stat = os.stat(path)
+    signature = (os.path.abspath(path), stat.st_mtime_ns, stat.st_size)
+    cached = _FILE_SHA_CACHE.get(signature)
+    if cached is not None:
+        return cached
+    h = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 22), b""):
+            h.update(block)
+    digest = h.hexdigest()
+    _FILE_SHA_CACHE[signature] = digest
+    return digest
+
+
+def graph_content_token(name: str) -> Optional[str]:
+    """The content hash for a ``file:`` graph spec, else ``None``.
+
+    Named generator graphs are seed-deterministic, so their provenance
+    key is already content-stable and this returns ``None`` (keeping
+    their store digests unchanged).
+    """
+    from ..graph import datasets
+
+    if not datasets.is_file_spec(name):
+        return None
+    return file_content_sha(datasets.file_spec_path(name))
 
 
 def _graph_key(name: str, scale: str, seed: int) -> Dict[str, object]:
+    token = graph_content_token(name)
+    if token is not None:
+        return {"name": name, "content": token}
     return {"name": name, "scale": scale, "seed": seed}
 
 

@@ -135,8 +135,14 @@ class SweepTask:
         )
 
     def artifact_key(self) -> Dict[str, object]:
-        """JSON-able provenance of the prepared run (store key)."""
-        return {
+        """JSON-able provenance of the prepared run (store key).
+
+        For ``file:`` graphs the key gains the file's content hash —
+        the path alone is not provenance, the bytes are. Named graphs
+        keep their original key shape, so existing store digests stay
+        valid.
+        """
+        key: Dict[str, object] = {
             "app": self.app,
             "graph": self.graph,
             "scale": self.scale,
@@ -144,6 +150,10 @@ class SweepTask:
             "technique": self.technique,
             "params": [[name, value] for name, value in self.params],
         }
+        content = artifacts.graph_content_token(self.graph)
+        if content is not None:
+            key["graph_content"] = content
+        return key
 
     def rows_key(self) -> Dict[str, object]:
         """Full unit identity: prepared-run provenance + replay config."""

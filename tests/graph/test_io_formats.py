@@ -1,0 +1,419 @@
+"""Round-trip and corruption tests for the graph ingestion layer.
+
+Property tests drive every on-disk format through save -> load and
+require the loaded CSR arrays to be bit-identical to the original —
+including duplicate edges, self loops, isolated max-ID vertices, empty
+graphs, and weight-to-edge attachment across the CSR re-sort. The
+corruption tests seed one specific violation per `load_csr` validation
+rule and require a `GraphFormatError` naming the path.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    CSRGraph,
+    from_edges,
+    from_edges_chunked,
+    io,
+)
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+
+
+@st.composite
+def edge_sets(draw, max_vertices=24, max_edges=60):
+    """Random directed multigraphs: duplicates and self loops included.
+
+    ``num_vertices`` can exceed every endpoint, covering isolated
+    trailing (max-ID) vertices; 0-vertex/0-edge graphs are generated
+    too.
+    """
+    num_vertices = draw(st.integers(min_value=0, max_value=max_vertices))
+    if num_vertices == 0:
+        return 0, np.empty((0, 2), dtype=np.int64)
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_vertices - 1),
+                st.integers(0, num_vertices - 1),
+            ),
+            max_size=max_edges,
+        )
+    )
+    edges = (
+        np.array(pairs, dtype=np.int64)
+        if pairs
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    return num_vertices, edges
+
+
+def assert_same_graph(loaded: CSRGraph, original: CSRGraph) -> None:
+    assert np.array_equal(loaded.offsets, original.offsets)
+    assert np.array_equal(loaded.neighbors, original.neighbors)
+    assert loaded.offsets.dtype == original.offsets.dtype
+    assert loaded.neighbors.dtype == original.neighbors.dtype
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_sets())
+def test_edge_list_roundtrip(tmp_path_factory, data):
+    num_vertices, edges = data
+    graph = from_edges(edges, num_vertices=num_vertices)
+    path = str(tmp_path_factory.mktemp("el") / "g.el")
+    io.save_edge_list(graph, path)
+    assert_same_graph(io.load_edge_list(path), graph)
+    # Tiny chunk sizes force partial-line carries at every boundary.
+    assert_same_graph(io.load_edge_list(path, chunk_bytes=5), graph)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_sets(), st.randoms(use_true_random=False))
+def test_weighted_roundtrip_preserves_attachment(
+    tmp_path_factory, data, rnd
+):
+    num_vertices, edges = data
+    graph = from_edges(edges, num_vertices=num_vertices)
+    weights = np.array(
+        [rnd.randint(0, 10_000) for _ in range(graph.num_edges)],
+        dtype=np.int64,
+    )
+    path = str(tmp_path_factory.mktemp("wel") / "g.wel")
+    io.save_weighted_edge_list(graph, weights, path)
+    loaded, loaded_weights = io.load_weighted_edge_list(
+        path, chunk_bytes=7
+    )
+    assert_same_graph(loaded, graph)
+    # Weight i belongs to CSR edge i; the loader's re-sort must keep
+    # each weight glued to its edge.
+    assert np.array_equal(loaded_weights, weights)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_sets())
+def test_matrix_market_roundtrip(tmp_path_factory, data):
+    num_vertices, edges = data
+    graph = from_edges(edges, num_vertices=num_vertices)
+    path = str(tmp_path_factory.mktemp("mtx") / "g.mtx")
+    io.save_matrix_market(graph, path, comment="roundtrip")
+    assert_same_graph(io.load_matrix_market(path, chunk_bytes=9), graph)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_sets(), st.booleans())
+def test_gap_binary_roundtrip(tmp_path_factory, data, include_transpose):
+    num_vertices, edges = data
+    graph = from_edges(edges, num_vertices=num_vertices)
+    path = str(tmp_path_factory.mktemp("sg") / "g.sg")
+    io.save_gap_binary(graph, path, include_transpose=include_transpose)
+    assert_same_graph(io.load_gap_binary(path), graph)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_sets())
+def test_csr_archive_roundtrip(tmp_path_factory, data):
+    num_vertices, edges = data
+    graph = from_edges(edges, num_vertices=num_vertices)
+    path = str(tmp_path_factory.mktemp("npz") / "g.npz")
+    io.save_csr(graph, path)
+    assert_same_graph(io.load_csr(path), graph)
+
+
+@settings(max_examples=30, deadline=None)
+@given(edge_sets(), st.integers(1, 6))
+def test_chunked_builder_matches_from_edges(data, num_chunks):
+    num_vertices, edges = data
+    expected = from_edges(edges, num_vertices=num_vertices)
+    splits = np.array_split(edges, num_chunks)
+    built = from_edges_chunked(
+        lambda: iter(splits), num_vertices=num_vertices
+    )
+    assert_same_graph(built, expected)
+
+
+class TestLoadGraphDispatch:
+    def test_dispatch_all_extensions(self, tmp_path):
+        graph = from_edges([[0, 1], [1, 2], [2, 0]], num_vertices=4)
+        savers = {
+            ".el": io.save_edge_list,
+            ".mtx": io.save_matrix_market,
+            ".sg": io.save_gap_binary,
+            ".npz": io.save_csr,
+        }
+        for ext, saver in savers.items():
+            path = str(tmp_path / f"g{ext}")
+            saver(graph, path)
+            assert_same_graph(io.load_graph(path), graph)
+        wel = str(tmp_path / "g.wel")
+        io.save_weighted_edge_list(
+            graph, np.arange(graph.num_edges), wel
+        )
+        assert_same_graph(io.load_graph(wel), graph)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(GraphFormatError, match="does not exist"):
+            io.load_graph(str(tmp_path / "nope.el"))
+
+    def test_unknown_extension(self, tmp_path):
+        path = tmp_path / "g.gr"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphFormatError, match="unsupported"):
+            io.load_graph(str(path))
+
+
+class TestSeparatorTolerance:
+    def test_tabs_and_crlf(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_bytes(b"# vertices 5\r\n0\t1\r\n2\t3\r\n")
+        graph = io.load_edge_list(str(path))
+        assert graph.num_vertices == 5
+        assert graph.edge_array().tolist() == [[0, 1], [2, 3]]
+
+    def test_mixed_separators_weighted(self, tmp_path):
+        path = tmp_path / "g.wel"
+        path.write_bytes(b"0\t1\t7\r\n1 0\t9\n")
+        graph, weights = io.load_weighted_edge_list(str(path))
+        assert graph.edge_array().tolist() == [[0, 1], [1, 0]]
+        assert weights.tolist() == [7, 9]
+
+    def test_directive_overrides_argument(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_text("# vertices 9\n0 1\n")
+        assert io.load_edge_list(str(path), num_vertices=4).num_vertices == 9
+
+    def test_percent_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_text("% converter noise\n0 1\n")
+        assert io.load_edge_list(str(path)).num_edges == 1
+
+
+class TestMalformedText:
+    def test_odd_tokens_points_at_line(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_text("0 1\n0\n2 3\n")
+        with pytest.raises(GraphFormatError, match=r"g\.el:2"):
+            io.load_edge_list(str(path))
+
+    def test_non_numeric_token(self, tmp_path):
+        path = tmp_path / "g.el"
+        path.write_text("0 x\n")
+        with pytest.raises(GraphFormatError, match="non-numeric"):
+            io.load_edge_list(str(path))
+
+    def test_wel_wrong_arity(self, tmp_path):
+        path = tmp_path / "g.wel"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphFormatError, match="src dst weight"):
+            io.load_weighted_edge_list(str(path))
+
+
+class TestCorruptArchives:
+    """One seeded violation per load_csr validation rule."""
+
+    def _save(self, tmp_path, **arrays):
+        path = str(tmp_path / "bad.npz")
+        np.savez(path, **arrays)
+        return path
+
+    def test_missing_arrays(self, tmp_path):
+        path = self._save(tmp_path, foo=np.arange(3))
+        with pytest.raises(GraphFormatError, match="offsets/neighbors"):
+            io.load_csr(path)
+
+    def test_non_monotonic_offsets(self, tmp_path):
+        path = self._save(
+            tmp_path,
+            offsets=np.array([0, 2, 1, 3]),
+            neighbors=np.zeros(3, dtype=np.int32),
+        )
+        with pytest.raises(GraphFormatError, match="not monotonic"):
+            io.load_csr(path)
+
+    def test_offsets_end_mismatch(self, tmp_path):
+        path = self._save(
+            tmp_path,
+            offsets=np.array([0, 1, 5]),
+            neighbors=np.zeros(3, dtype=np.int32),
+        )
+        with pytest.raises(GraphFormatError, match="offsets end at 5"):
+            io.load_csr(path)
+
+    def test_offsets_not_starting_at_zero(self, tmp_path):
+        path = self._save(
+            tmp_path,
+            offsets=np.array([1, 2]),
+            neighbors=np.zeros(1, dtype=np.int32),
+        )
+        with pytest.raises(GraphFormatError, match="start at 0"):
+            io.load_csr(path)
+
+    def test_out_of_range_neighbor(self, tmp_path):
+        path = self._save(
+            tmp_path,
+            offsets=np.array([0, 1, 2]),
+            neighbors=np.array([0, 7], dtype=np.int32),
+        )
+        with pytest.raises(GraphFormatError, match="out of range"):
+            io.load_csr(path)
+
+    def test_negative_neighbor(self, tmp_path):
+        path = self._save(
+            tmp_path,
+            offsets=np.array([0, 1, 2]),
+            neighbors=np.array([0, -1], dtype=np.int32),
+        )
+        with pytest.raises(GraphFormatError, match="negative neighbor"):
+            io.load_csr(path)
+
+    def test_fractional_offsets(self, tmp_path):
+        path = self._save(
+            tmp_path,
+            offsets=np.array([0.0, 0.5, 2.0]),
+            neighbors=np.array([0, 1], dtype=np.int32),
+        )
+        with pytest.raises(GraphFormatError, match="fractional"):
+            io.load_csr(path)
+
+    def test_integral_float_offsets_coerce(self, tmp_path):
+        path = self._save(
+            tmp_path,
+            offsets=np.array([0.0, 1.0, 2.0]),
+            neighbors=np.array([1, 0], dtype=np.int64),
+        )
+        graph = io.load_csr(path)
+        assert graph.offsets.dtype == np.int64
+        assert graph.neighbors.dtype == np.int32
+
+    def test_unsorted_archive_resorted(self, tmp_path):
+        path = self._save(
+            tmp_path,
+            offsets=np.array([0, 2, 2]),
+            neighbors=np.array([1, 0], dtype=np.int32),
+        )
+        assert io.load_csr(path).neighbors.tolist() == [0, 1]
+
+    def test_truncated_zip(self, tmp_path):
+        graph = from_edges([[0, 1], [1, 0]], num_vertices=2)
+        path = str(tmp_path / "t.npz")
+        io.save_csr(graph, path)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        with pytest.raises(GraphFormatError, match="unreadable"):
+            io.load_csr(path)
+
+    def test_error_names_the_path(self, tmp_path):
+        path = self._save(
+            tmp_path,
+            offsets=np.array([0, 2, 1]),
+            neighbors=np.zeros(1, dtype=np.int32),
+        )
+        with pytest.raises(GraphFormatError, match="bad.npz"):
+            io.load_csr(path)
+
+
+class TestCorruptGapBinary:
+    def test_bad_flag(self, tmp_path):
+        path = tmp_path / "g.sg"
+        path.write_bytes(b"\x07" + b"\x00" * 64)
+        with pytest.raises(GraphFormatError, match="directed flag"):
+            io.load_gap_binary(str(path))
+
+    def test_truncated(self, tmp_path):
+        graph = from_edges([[0, 1], [1, 2]], num_vertices=3)
+        path = str(tmp_path / "g.sg")
+        io.save_gap_binary(graph, path)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[:21])
+        with pytest.raises(GraphFormatError, match="truncated"):
+            io.load_gap_binary(path)
+
+    def test_out_of_range_neighbor_shares_validation(self, tmp_path):
+        graph = from_edges([[0, 1], [1, 2]], num_vertices=3)
+        path = str(tmp_path / "g.sg")
+        io.save_gap_binary(graph, path, include_transpose=False)
+        blob = bytearray(open(path, "rb").read())
+        # Out-neighbors start after flag + 2 header ints + 4 offsets.
+        start = 1 + 16 + 32
+        bad = np.array([99], dtype="<i4").tobytes()
+        blob[start:start + 4] = bad
+        with open(path, "wb") as handle:
+            handle.write(bytes(blob))
+        with pytest.raises(GraphFormatError, match="out of range"):
+            io.load_gap_binary(path)
+
+
+class TestMatrixMarketEdgeCases:
+    def test_symmetric_mirrors_off_diagonal(self, tmp_path):
+        path = tmp_path / "s.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 3\n2 1\n3 1\n2 2\n"
+        )
+        graph = io.load_matrix_market(str(path))
+        assert sorted(map(tuple, graph.edge_array().tolist())) == [
+            (0, 1), (0, 2), (1, 0), (1, 1), (2, 0),
+        ]
+
+    def test_real_values_dropped(self, tmp_path):
+        path = tmp_path / "r.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "3 3 2\n1 2 0.5\n3 1 -1e3\n"
+        )
+        graph = io.load_matrix_market(str(path))
+        assert sorted(map(tuple, graph.edge_array().tolist())) == [
+            (0, 1), (2, 0),
+        ]
+
+    def test_nnz_mismatch(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "3 3 5\n1 2\n"
+        )
+        with pytest.raises(GraphFormatError, match="declares 5"):
+            io.load_matrix_market(str(path))
+
+    def test_missing_banner(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        path.write_text("not a banner\n")
+        with pytest.raises(GraphFormatError, match="banner"):
+            io.load_matrix_market(str(path))
+
+    def test_array_layout_rejected(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix array real general\n3 3\n1.0\n"
+        )
+        with pytest.raises(GraphFormatError, match="coordinate"):
+            io.load_matrix_market(str(path))
+
+
+class TestKarateSample:
+    """The checked-in real-graph sample CI smokes against."""
+
+    PATH = os.path.join(DATA_DIR, "karate.el")
+
+    def test_loads_with_expected_shape(self):
+        graph = io.load_graph(self.PATH)
+        assert graph.num_vertices == 34
+        assert graph.num_edges == 78
+
+    def test_loads_identically_at_tiny_chunks(self):
+        graph = io.load_edge_list(self.PATH)
+        tiny = io.load_edge_list(self.PATH, chunk_bytes=3)
+        assert_same_graph(tiny, graph)
+
+    def test_datasets_file_spec(self):
+        from repro.graph import datasets
+
+        graph = datasets.load(f"file:{self.PATH}")
+        assert graph.num_vertices == 34
