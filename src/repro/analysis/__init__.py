@@ -16,6 +16,11 @@ cover the broken combination. Rule families:
 - ``abi``          — cross-language kernel ABI and constant parity
   (``kernels.c`` vs ``ckernels._SIGNATURES`` vs ``kernels.py`` call
   sites, plus the shared-constants registry and the C dialect rules)
+- ``spec-coverage`` — experiment specs vs the registries they name
+- ``par``          — worker purity for process-parallel sweep workers
+- ``dtype``        — flow-based numpy dtype/width inference against the
+  declared capacity contracts (``sim/constants.py:WIDTH_CONTRACTS``)
+  and the C kernel boundary
 
 See :mod:`repro.analysis.runner` for the CLI and
 ``# simlint: allow[rule]`` pragmas for intentional exceptions (the same

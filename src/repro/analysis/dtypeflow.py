@@ -1,0 +1,731 @@
+"""Flow-based numpy dtype/width inference (``dtype`` family engine).
+
+The ``dtype`` rules (:mod:`repro.analysis.dtyperules`) need to answer one
+question at many program points: *what element dtype does this expression
+have, and is its value range provably bounded?* This module answers it
+with a deliberately small abstract interpretation over the scanned ASTs:
+
+- The lattice is flat: a :class:`Value` either names a concrete numpy
+  dtype (``"int64"``, ``"uint8"``, ...) or is unknown (``dtype=None``,
+  the top element). Joining two unequal dtypes yields unknown — the
+  rules stay silent rather than guess, so every finding rests on a
+  dtype the engine actually proved.
+- Creation sites seed the lattice: ``np.zeros/empty/ones/full/arange/
+  array/asarray/ascontiguousarray/fromiter`` (explicit ``dtype=`` or the
+  numpy default), ``.astype(...)``/``.view(...)`` casts, and
+  known-signature APIs (``bincount`` -> platform int, ``cumsum`` -> the
+  platform-int promotion, ``argsort``/``searchsorted`` -> platform int).
+- Assignments, tuple unpacking, views (``copy``/``ravel``/``reshape``/
+  slicing), and arithmetic propagate dtypes forward through each
+  function body in statement order; ``if`` branches are joined
+  (disagreeing branches -> unknown).
+- Calls to *project-local* functions resolve interprocedurally through
+  the :class:`~repro.analysis.purity.CallGraph` walker the ``par``
+  family already builds: the callee's return expression is inferred in
+  its own environment (memoized, recursion-guarded), so a helper like
+  ``_ws(n) -> np.empty(n, dtype=np.int64)`` types its callers.
+- A ``bounded`` bit rides along the dtype: values that passed through a
+  clamp (``np.minimum``/``np.clip``, a ``&`` mask, ``%``) are marked
+  range-guarded, which is what lets ``dtype-narrowing-cast`` and
+  ``dtype-overflow`` distinguish a documented quantization from an
+  unchecked truncation.
+
+The engine never imports numpy and never executes scanned code; like the
+rest of simlint it is a project-local static pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .astutil import SourceModule, dotted_name
+from .purity import CallGraph, FunctionInfo
+
+__all__ = [
+    "Value",
+    "UNKNOWN",
+    "DtypeFlow",
+    "dtype_width",
+    "is_integer_dtype",
+    "is_float_dtype",
+    "parse_dtype_node",
+]
+
+#: Element width in bits per recognized dtype name. ``intp``/``uintp``
+#: are numpy's platform-default integers: 64-bit on the CI/dev targets,
+#: 32-bit on e.g. Windows — which is exactly why ``dtype-unspecified``
+#: exists. For width comparisons they count as 64 (their widest form);
+#: the *name* is preserved so messages can say "platform int".
+_WIDTHS: Dict[str, int] = {
+    "bool": 1,
+    "int8": 8, "uint8": 8,
+    "int16": 16, "uint16": 16,
+    "int32": 32, "uint32": 32,
+    "int64": 64, "uint64": 64,
+    "intp": 64, "uintp": 64,
+    "float32": 32, "float64": 64,
+}
+
+_FLOATS = {"float32", "float64"}
+
+
+def dtype_width(name: Optional[str]) -> Optional[int]:
+    """Bit width of a recognized dtype name (None when unknown)."""
+    if name is None:
+        return None
+    return _WIDTHS.get(name)
+
+
+def is_integer_dtype(name: Optional[str]) -> bool:
+    return name is not None and name in _WIDTHS and name not in _FLOATS \
+        and name != "bool"
+
+
+def is_float_dtype(name: Optional[str]) -> bool:
+    return name in _FLOATS
+
+
+@dataclass(frozen=True)
+class Value:
+    """One lattice element: what the engine knows about an expression."""
+
+    dtype: Optional[str] = None   #: numpy dtype name, or None = unknown
+    is_array: bool = False        #: array-like (vs scalar / weak python)
+    bounded: bool = False         #: range-guarded by a clamp on the path
+
+    def known(self) -> bool:
+        return self.dtype is not None
+
+
+UNKNOWN = Value()
+
+#: numpy calls returning the platform-default integer regardless of
+#: input dtype (index-producing APIs).
+_PLATFORM_INT_CALLS = {
+    "bincount", "argsort", "argmin", "argmax", "searchsorted",
+    "flatnonzero", "count_nonzero", "lexsort", "digitize",
+}
+
+#: numpy calls that forward their first argument's dtype.
+_FORWARDING_CALLS = {
+    "sort", "unique", "copy", "ravel", "repeat", "tile", "flip",
+    "ascontiguousarray", "asfortranarray", "atleast_1d", "diff",
+}
+
+#: view/copy methods that preserve the receiver's dtype.
+_FORWARDING_METHODS = {
+    "copy", "ravel", "reshape", "flatten", "transpose", "squeeze",
+    "max", "min", "sum",
+}
+
+#: clamping calls: result dtype is the promotion of the array args and
+#: the result is marked range-guarded.
+_CLAMP_CALLS = {"minimum", "clip"}
+
+
+def _promote(a: Value, b: Value) -> Value:
+    """numpy-style promotion of a binary op's operands (approximate).
+
+    Python scalars are *weak* (NEP 50): a constant does not widen an
+    array operand. Unknown poisons to unknown — the rules never act on a
+    guessed dtype.
+    """
+    # Weak scalars: the typed side wins.
+    if a.dtype is None and not a.is_array and b.known():
+        return replace(b, bounded=a.bounded and b.bounded)
+    if b.dtype is None and not b.is_array and a.known():
+        return replace(a, bounded=a.bounded and b.bounded)
+    if not a.known() or not b.known():
+        return Value(is_array=a.is_array or b.is_array)
+    bounded = a.bounded and b.bounded
+    array = a.is_array or b.is_array
+    da, db = a.dtype, b.dtype
+    if da == db:
+        return Value(dtype=da, is_array=array, bounded=bounded)
+    if is_float_dtype(da) or is_float_dtype(db):
+        if da in _FLOATS and db in _FLOATS:
+            name = "float64" if "float64" in (da, db) else "float32"
+        else:
+            name = "float64"
+        return Value(dtype=name, is_array=array, bounded=bounded)
+    # Integer/bool mixing: bool behaves as the weakest integer.
+    wa = _WIDTHS.get(da, 64)
+    wb = _WIDTHS.get(db, 64)
+    if da == "bool":
+        return Value(dtype=db, is_array=array, bounded=bounded)
+    if db == "bool":
+        return Value(dtype=da, is_array=array, bounded=bounded)
+    signed_a = not da.startswith("u")
+    signed_b = not db.startswith("u")
+    width = max(wa, wb)
+    if signed_a == signed_b:
+        prefix = "int" if signed_a else "uint"
+        return Value(
+            dtype=f"{prefix}{width}", is_array=array, bounded=bounded
+        )
+    # Mixed signedness: numpy widens to the next signed type (int32 +
+    # uint32 -> int64); at 64 bits it falls off to float64.
+    unsigned_width = wa if not signed_a else wb
+    signed_width = wa if signed_a else wb
+    if unsigned_width >= signed_width:
+        if unsigned_width >= 64:
+            return Value(dtype="float64", is_array=array, bounded=bounded)
+        return Value(
+            dtype=f"int{unsigned_width * 2}", is_array=array,
+            bounded=bounded,
+        )
+    return Value(dtype=f"int{signed_width}", is_array=array, bounded=bounded)
+
+
+def _join(a: Value, b: Value) -> Value:
+    """Lattice join for control-flow merges: disagree -> unknown."""
+    if a == b:
+        return a
+    if a.dtype == b.dtype:
+        return Value(
+            dtype=a.dtype,
+            is_array=a.is_array or b.is_array,
+            bounded=a.bounded and b.bounded,
+        )
+    return UNKNOWN
+
+
+def parse_dtype_node(node: Optional[ast.AST]) -> Optional[str]:
+    """A ``dtype=`` expression -> dtype name, or None when unresolvable.
+
+    Recognizes ``np.int64`` (any module alias), bare ``bool/int/float``,
+    and string literals. An ``IfExp`` with agreeing branches resolves;
+    disagreeing branches (``np.uint16 if wide else np.uint8``) are
+    *deliberately* unknown — the choice is data-dependent.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value if node.value in _WIDTHS else None
+    if isinstance(node, ast.Attribute):
+        return node.attr if node.attr in _WIDTHS else None
+    if isinstance(node, ast.Name):
+        if node.id in _WIDTHS:
+            return node.id
+        return {"bool": "bool", "int": "intp", "float": "float64"}.get(
+            node.id
+        )
+    if isinstance(node, ast.IfExp):
+        body = parse_dtype_node(node.body)
+        orelse = parse_dtype_node(node.orelse)
+        return body if body == orelse else None
+    return None
+
+
+def _call_keyword(call: ast.Call, name: str) -> Optional[ast.AST]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _dtype_argument(call: ast.Call, positional: int) -> Optional[ast.AST]:
+    """The dtype expression of a creation call, keyword or positional."""
+    kw = _call_keyword(call, "dtype")
+    if kw is not None:
+        return kw
+    if 0 <= positional < len(call.args):
+        return call.args[positional]
+    return None
+
+
+def _literal_element_dtype(node: ast.AST) -> Optional[str]:
+    """dtype of a list/tuple literal of numeric constants, else None."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    saw_float = False
+    saw_int = False
+    for elt in node.elts:
+        if isinstance(elt, ast.UnaryOp) and isinstance(elt.op, ast.USub):
+            elt = elt.operand
+        if not isinstance(elt, ast.Constant):
+            return None
+        if isinstance(elt.value, bool):
+            continue
+        if isinstance(elt.value, int):
+            saw_int = True
+        elif isinstance(elt.value, float):
+            saw_float = True
+        else:
+            return None
+    if saw_float:
+        return "float64"
+    if saw_int:
+        return "intp"
+    return "bool" if node.elts else None
+
+
+#: Per-statement pre-effect hook: (statement, environment-at-entry).
+StmtCallback = Callable[[ast.stmt, Dict[str, Value]], None]
+
+
+class DtypeFlow:
+    """Interprocedural dtype inference over a scanned module set."""
+
+    def __init__(
+        self,
+        modules: Sequence[SourceModule],
+        graph: Optional[CallGraph] = None,
+    ) -> None:
+        self.modules = list(modules)
+        self.graph = graph if graph is not None else CallGraph(modules)
+        self._returns: Dict[Tuple[str, str], object] = {}
+        self._in_progress: set = set()
+
+    # -- public API ----------------------------------------------------
+
+    def scan_function(
+        self,
+        module: SourceModule,
+        func: ast.FunctionDef,
+        callback: Optional[StmtCallback] = None,
+        class_name: Optional[str] = None,
+    ) -> Dict[str, Value]:
+        """Forward pass over ``func``; ``callback`` fires per statement
+        with the environment *before* that statement's effects apply
+        (matching evaluation order: an assignment's RHS sees the old
+        binding). Returns the post-body environment."""
+        env: Dict[str, Value] = {}
+        self._walk_body(func.body, env, module, class_name, callback)
+        return env
+
+    def infer(
+        self,
+        node: ast.AST,
+        env: Dict[str, Value],
+        module: SourceModule,
+        class_name: Optional[str] = None,
+    ) -> Value:
+        """The lattice value of one expression under ``env``."""
+        return self._infer(node, env, module, class_name)
+
+    def return_value(self, info: FunctionInfo) -> Union[Value, tuple]:
+        """What ``info`` returns: a Value, or a tuple of Values for
+        functions returning a literal tuple (enables unpack typing)."""
+        cached = self._returns.get(info.key)
+        if cached is not None:
+            return cached
+        if info.key in self._in_progress:
+            return UNKNOWN  # recursion: give up, stay sound
+        self._in_progress.add(info.key)
+        try:
+            result = self._compute_return(info)
+        finally:
+            self._in_progress.discard(info.key)
+        self._returns[info.key] = result
+        return result
+
+    # -- statement walk ------------------------------------------------
+
+    def _walk_body(
+        self,
+        body: Sequence[ast.stmt],
+        env: Dict[str, Value],
+        module: SourceModule,
+        class_name: Optional[str],
+        callback: Optional[StmtCallback],
+        returns: Optional[List[object]] = None,
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # nested defs are their own scope
+            if callback is not None:
+                callback(stmt, env)
+            self._apply(stmt, env, module, class_name, callback, returns)
+
+    def _apply(
+        self,
+        stmt: ast.stmt,
+        env: Dict[str, Value],
+        module: SourceModule,
+        class_name: Optional[str],
+        callback: Optional[StmtCallback],
+        returns: Optional[List[object]],
+    ) -> None:
+        walk = lambda body, e: self._walk_body(  # noqa: E731
+            body, e, module, class_name, callback, returns
+        )
+        if isinstance(stmt, ast.Assign):
+            value = stmt.value
+            for target in stmt.targets:
+                self._bind(target, value, env, module, class_name)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._bind(stmt.target, stmt.value, env, module, class_name)
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                current = env.get(stmt.target.id, UNKNOWN)
+                # In-place ops keep the target's dtype; only the bounded
+                # bit can degrade.
+                rhs = self._infer(stmt.value, env, module, class_name)
+                env[stmt.target.id] = replace(
+                    current, bounded=current.bounded and rhs.bounded
+                )
+        elif isinstance(stmt, ast.Return):
+            if returns is not None:
+                if isinstance(stmt.value, ast.Tuple):
+                    returns.append(tuple(
+                        self._infer(e, env, module, class_name)
+                        for e in stmt.value.elts
+                    ))
+                elif stmt.value is not None:
+                    returns.append(
+                        self._infer(stmt.value, env, module, class_name)
+                    )
+                else:
+                    returns.append(UNKNOWN)
+        elif isinstance(stmt, ast.If):
+            before = dict(env)
+            walk(stmt.body, env)
+            other = dict(before)
+            walk(stmt.orelse, other)
+            merged: Dict[str, Value] = {}
+            for name in set(env) | set(other):
+                a = env.get(name, before.get(name))
+                b = other.get(name, before.get(name))
+                merged[name] = UNKNOWN if a is None or b is None \
+                    else _join(a, b)
+            env.clear()
+            env.update(merged)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_value = self._infer(stmt.iter, env, module, class_name)
+            if isinstance(stmt.target, ast.Name):
+                # Iterating an array yields same-dtype numpy scalars.
+                env[stmt.target.id] = replace(iter_value, is_array=False) \
+                    if iter_value.known() else UNKNOWN
+            walk(stmt.body, env)
+            walk(stmt.orelse, env)
+        elif isinstance(stmt, ast.While):
+            walk(stmt.body, env)
+            walk(stmt.orelse, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            walk(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            walk(stmt.body, env)
+            for handler in stmt.handlers:
+                walk(handler.body, env)
+            walk(stmt.orelse, env)
+            walk(stmt.finalbody, env)
+
+    def _bind(
+        self,
+        target: ast.AST,
+        value: ast.AST,
+        env: Dict[str, Value],
+        module: SourceModule,
+        class_name: Optional[str],
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = self._infer(value, env, module, class_name)
+            return
+        if isinstance(target, ast.Tuple) and all(
+            isinstance(e, ast.Name) for e in target.elts
+        ):
+            unpacked = self._infer_tuple(value, env, module, class_name)
+            if unpacked is not None and len(unpacked) == len(target.elts):
+                for elt, val in zip(target.elts, unpacked):
+                    env[elt.id] = val  # type: ignore[union-attr]
+            else:
+                for elt in target.elts:
+                    env[elt.id] = UNKNOWN  # type: ignore[union-attr]
+
+    def _infer_tuple(
+        self,
+        node: ast.AST,
+        env: Dict[str, Value],
+        module: SourceModule,
+        class_name: Optional[str],
+    ) -> Optional[Tuple[Value, ...]]:
+        if isinstance(node, ast.Tuple):
+            return tuple(
+                self._infer(e, env, module, class_name) for e in node.elts
+            )
+        if isinstance(node, ast.Call):
+            resolved = self._resolve_call(node, module, class_name)
+            if isinstance(resolved, tuple):
+                return resolved
+        return None
+
+    # -- expression inference ------------------------------------------
+
+    def _infer(
+        self,
+        node: ast.AST,
+        env: Dict[str, Value],
+        module: SourceModule,
+        class_name: Optional[str],
+    ) -> Value:
+        if isinstance(node, ast.Name):
+            return env.get(node.id, UNKNOWN)
+        if isinstance(node, ast.Constant):
+            # Python scalars are weak: typed operands win promotion.
+            if isinstance(node.value, bool):
+                return Value(dtype="bool", bounded=True)
+            if isinstance(node.value, (int, float)):
+                return Value(bounded=True)
+            return UNKNOWN
+        if isinstance(node, ast.Subscript):
+            base = self._infer(node.value, env, module, class_name)
+            return base if base.known() else UNKNOWN
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node, env, module, class_name)
+        if isinstance(node, ast.UnaryOp):
+            return self._infer(node.operand, env, module, class_name)
+        if isinstance(node, ast.Compare):
+            return Value(dtype="bool", is_array=True, bounded=True)
+        if isinstance(node, ast.IfExp):
+            return _join(
+                self._infer(node.body, env, module, class_name),
+                self._infer(node.orelse, env, module, class_name),
+            )
+        if isinstance(node, ast.Call):
+            return self._infer_call(node, env, module, class_name)
+        return UNKNOWN
+
+    def _infer_binop(
+        self,
+        node: ast.BinOp,
+        env: Dict[str, Value],
+        module: SourceModule,
+        class_name: Optional[str],
+    ) -> Value:
+        left = self._infer(node.left, env, module, class_name)
+        right = self._infer(node.right, env, module, class_name)
+        if isinstance(node.op, ast.Div):
+            array = left.is_array or right.is_array
+            return Value(dtype="float64", is_array=array)
+        result = _promote(left, right)
+        if isinstance(node.op, (ast.BitAnd, ast.Mod)):
+            # Masking / modulo bounds the result by the RHS.
+            return replace(result, bounded=True)
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mult, ast.LShift,
+                                ast.Pow)):
+            return replace(result, bounded=False)
+        return result
+
+    def _infer_call(
+        self,
+        call: ast.Call,
+        env: Dict[str, Value],
+        module: SourceModule,
+        class_name: Optional[str],
+    ) -> Value:
+        func = call.func
+        # Method calls on an inferable receiver.
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            if attr == "astype":
+                target = parse_dtype_node(call.args[0]) if call.args \
+                    else None
+                source = self._infer(func.value, env, module, class_name)
+                return Value(
+                    dtype=target, is_array=True, bounded=source.bounded
+                )
+            if attr == "view" and call.args:
+                return Value(
+                    dtype=parse_dtype_node(call.args[0]), is_array=True
+                )
+            if attr in _FORWARDING_METHODS:
+                receiver = self._infer(func.value, env, module, class_name)
+                if receiver.known():
+                    return replace(receiver, is_array=True) \
+                        if attr not in ("max", "min", "sum") \
+                        else replace(receiver, is_array=False)
+                return UNKNOWN
+        name = dotted_name(func)
+        if name is not None:
+            tail = name.rsplit(".", 1)[-1]
+            numpy_value = self._numpy_call(call, tail, env, module,
+                                           class_name)
+            if numpy_value is not None:
+                return numpy_value
+        # Project-local functions: interprocedural return inference.
+        resolved = self._resolve_call(call, module, class_name)
+        if isinstance(resolved, Value):
+            return resolved
+        return UNKNOWN
+
+    def _numpy_call(
+        self,
+        call: ast.Call,
+        tail: str,
+        env: Dict[str, Value],
+        module: SourceModule,
+        class_name: Optional[str],
+    ) -> Optional[Value]:
+        """Value of a recognized numpy-API call, else None."""
+        infer = lambda n: self._infer(n, env, module, class_name)  # noqa: E731
+        if tail in ("zeros", "empty", "ones"):
+            dtype = parse_dtype_node(_dtype_argument(call, 1))
+            return Value(dtype=dtype or "float64", is_array=True)
+        if tail in ("zeros_like", "empty_like", "ones_like", "full_like"):
+            dtype = parse_dtype_node(_call_keyword(call, "dtype"))
+            if dtype is not None:
+                return Value(dtype=dtype, is_array=True)
+            return replace(infer(call.args[0]), is_array=True) \
+                if call.args else UNKNOWN
+        if tail == "full":
+            dtype = parse_dtype_node(_dtype_argument(call, 2))
+            if dtype is not None:
+                return Value(dtype=dtype, is_array=True)
+            if len(call.args) >= 2:
+                fill = infer(call.args[1])
+                if fill.known():
+                    return Value(dtype=fill.dtype, is_array=True)
+                if isinstance(call.args[1], ast.Constant):
+                    if isinstance(call.args[1].value, bool):
+                        return Value(dtype="bool", is_array=True)
+                    if isinstance(call.args[1].value, int):
+                        return Value(dtype="intp", is_array=True)
+                    if isinstance(call.args[1].value, float):
+                        return Value(dtype="float64", is_array=True)
+            return Value(is_array=True)
+        if tail == "arange":
+            dtype = parse_dtype_node(_dtype_argument(call, 3))
+            if dtype is not None:
+                return Value(dtype=dtype, is_array=True)
+            for arg in call.args:
+                if isinstance(arg, ast.Constant) \
+                        and isinstance(arg.value, float):
+                    return Value(dtype="float64", is_array=True)
+            return Value(dtype="intp", is_array=True)
+        if tail in ("array", "asarray", "ascontiguousarray",
+                    "asfortranarray"):
+            dtype = parse_dtype_node(_dtype_argument(call, 1))
+            if dtype is not None:
+                return Value(dtype=dtype, is_array=True)
+            if call.args:
+                literal = _literal_element_dtype(call.args[0])
+                if literal is not None:
+                    return Value(dtype=literal, is_array=True)
+                source = infer(call.args[0])
+                if source.known():
+                    return replace(source, is_array=True)
+            return Value(is_array=True)
+        if tail == "fromiter":
+            dtype = parse_dtype_node(_dtype_argument(call, 1))
+            return Value(dtype=dtype, is_array=True)
+        if tail == "linspace":
+            return Value(dtype="float64", is_array=True)
+        if tail in _PLATFORM_INT_CALLS:
+            if tail == "bincount" and (
+                len(call.args) >= 2
+                or any(kw.arg == "weights" for kw in call.keywords)
+            ):
+                return Value(dtype="float64", is_array=True)
+            return Value(dtype="intp", is_array=True)
+        if tail == "cumsum":
+            if call.args:
+                source = infer(call.args[0])
+                if is_integer_dtype(source.dtype):
+                    # numpy accumulates narrow ints in the platform int.
+                    width = _WIDTHS[source.dtype]  # type: ignore[index]
+                    if width < 64:
+                        signed = not source.dtype.startswith("u")  # type: ignore[union-attr]
+                        return Value(
+                            dtype="intp" if signed else "uintp",
+                            is_array=True,
+                        )
+                if source.known():
+                    return replace(source, is_array=True, bounded=False)
+            return UNKNOWN
+        if tail in _CLAMP_CALLS:
+            values = [infer(a) for a in call.args]
+            result = UNKNOWN
+            for value in values:
+                result = _promote(result, value) if result.known() \
+                    else value
+            return replace(result, bounded=True, is_array=True) \
+                if result.known() else Value(is_array=True, bounded=True)
+        if tail == "maximum":
+            values = [infer(a) for a in call.args]
+            result = values[0] if values else UNKNOWN
+            for value in values[1:]:
+                result = _promote(result, value)
+            return replace(result, is_array=True) if result.known() \
+                else UNKNOWN
+        if tail == "where" and len(call.args) == 3:
+            return _join(infer(call.args[1]), infer(call.args[2]))
+        if tail in _FORWARDING_CALLS:
+            if call.args:
+                source = infer(call.args[0])
+                if source.known():
+                    return replace(source, is_array=True)
+            return UNKNOWN
+        if tail in ("concatenate", "hstack", "vstack", "stack"):
+            if call.args and isinstance(call.args[0], (ast.List,
+                                                       ast.Tuple)):
+                result: Optional[Value] = None
+                for elt in call.args[0].elts:
+                    value = infer(elt)
+                    result = value if result is None \
+                        else _promote(result, value)
+                if result is not None and result.known():
+                    return replace(result, is_array=True)
+            return UNKNOWN
+        return None
+
+    def _resolve_call(
+        self,
+        call: ast.Call,
+        module: SourceModule,
+        class_name: Optional[str],
+    ) -> Union[Value, Tuple[Value, ...], None]:
+        """Interprocedural: resolve a project-local call's return."""
+        func = call.func
+        infos: List[FunctionInfo] = []
+        if isinstance(func, ast.Name):
+            infos = self.graph._resolve_in_module(module, func.id)
+        elif isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name):
+            if func.value.id == "self" and class_name:
+                infos = self.graph._resolve_method(
+                    module, class_name, func.attr
+                )
+            else:
+                scope = self.graph.scope_of(module)
+                alias = scope.module_aliases.get(func.value.id)
+                if alias is not None:
+                    target = self.graph._by_dotted.get(alias)
+                    if target is not None:
+                        infos = self.graph._resolve_in_module(
+                            target, func.attr
+                        )
+        # Constructors (__init__) tell us nothing about dtypes.
+        infos = [i for i in infos if not i.name.startswith("__")]
+        if len(infos) != 1:
+            return None
+        return self.return_value(infos[0])
+
+    def _compute_return(
+        self, info: FunctionInfo
+    ) -> Union[Value, Tuple[Value, ...]]:
+        returns: List[object] = []
+        env: Dict[str, Value] = {}
+        self._walk_body(
+            info.node.body, env, info.module, info.class_name,  # type: ignore[attr-defined]
+            callback=None, returns=returns,
+        )
+        if not returns:
+            return UNKNOWN
+        first = returns[0]
+        if isinstance(first, tuple):
+            for other in returns[1:]:
+                if not isinstance(other, tuple) \
+                        or len(other) != len(first):
+                    return UNKNOWN
+                first = tuple(_join(a, b) for a, b in zip(first, other))
+            return first
+        result = first
+        for other in returns[1:]:
+            if isinstance(other, tuple):
+                return UNKNOWN
+            result = _join(result, other)  # type: ignore[arg-type]
+        return result  # type: ignore[return-value]

@@ -8,8 +8,8 @@ inline ``# simlint: allow[...]`` pragma must name to suppress it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Union
 
 __all__ = ["Finding", "format_findings"]
 
@@ -25,6 +25,10 @@ class Finding:
 
     def format(self) -> str:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-ready mapping (``--json`` output, CI annotations)."""
+        return asdict(self)
 
 
 def format_findings(findings: List[Finding]) -> str:

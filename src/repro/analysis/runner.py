@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import argparse
 import io
+import json
 import os
 import tokenize
 from dataclasses import dataclass, field
@@ -20,6 +21,7 @@ from .abi import ABI_RULES, check_abi
 from .astutil import _PRAGMA, SourceModule, iter_python_files, load_module
 from .contract import check_policy_contracts
 from .determinism import check_determinism
+from .dtyperules import DTYPE_RULES, check_dtypes, dtype_status_lines
 from .findings import Finding, format_findings
 from .hotpath import DEFAULT_REPLAY_PATH, check_hot_paths
 from .kernelcov import check_kernels
@@ -31,7 +33,7 @@ __all__ = ["SimlintConfig", "run_simlint", "main", "KNOWN_RULES"]
 
 RULE_FAMILIES = (
     "policy", "determinism", "hotpath", "registry", "kernels", "abi",
-    "spec-coverage", "par",
+    "spec-coverage", "par", "dtype",
 )
 
 #: Every rule id a suppression pragma may legally name. Pragmas naming
@@ -63,6 +65,7 @@ KNOWN_RULES = frozenset(
     )
     + PAR_RULES
     + ABI_RULES
+    + DTYPE_RULES
     + RULE_FAMILIES
 )
 
@@ -163,8 +166,25 @@ def run_simlint(
         findings.extend(check_spec_coverage(modules))
     if "par" in families:
         findings.extend(check_parsafety(modules))
-    # Overlapping scope walks may observe one site twice.
-    return sorted(set(findings), key=lambda f: (f.path, f.line, f.rule))
+    if "dtype" in families:
+        findings.extend(check_dtypes(modules, config.replay_path))
+    return _stable_findings(findings)
+
+
+def _stable_findings(findings: Sequence[Finding]) -> List[Finding]:
+    """Deterministic (file, line, rule, message) order, de-duplicated.
+
+    Overlapping scope walks (and two families observing one site) may
+    emit the same finding twice; :class:`Finding` is a frozen dataclass,
+    so exact duplicates collapse through the set and the total sort
+    makes multi-family output byte-stable regardless of family
+    execution order — CI diffs never churn on ordering. Findings that
+    differ only in message (e.g. one ``abi-signature`` per mismatched
+    argument at one call line) all survive.
+    """
+    return sorted(
+        set(findings), key=lambda f: (f.path, f.line, f.rule, f.message)
+    )
 
 
 def _default_target() -> Path:
@@ -203,6 +223,7 @@ _FAMILY_PREFIXES = (
     ("kernel-", "kernels"),
     ("par-", "par"),
     ("abi-", "abi"),
+    ("dtype-", "dtype"),
 )
 
 
@@ -213,13 +234,18 @@ def _family_of(rule: str) -> str:
     return "core"
 
 
-def _family_counts(findings: Sequence[Finding]) -> str:
+def _count_by_family(findings: Sequence[Finding]) -> dict:
     counts: dict = {}
     for finding in findings:
         family = _family_of(finding.rule)
         counts[family] = counts.get(family, 0) + 1
+    return counts
+
+
+def _family_counts(findings: Sequence[Finding]) -> str:
     return ", ".join(
-        f"{family}: {count}" for family, count in sorted(counts.items())
+        f"{family}: {count}"
+        for family, count in sorted(_count_by_family(findings).items())
     )
 
 
@@ -229,7 +255,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description="simlint: simulator-specific static analysis "
                     "(policy contracts, registry drift, determinism, "
                     "hot-path hygiene, cross-language kernel ABI, "
-                    "worker purity)",
+                    "worker purity, dtype/width contracts)",
     )
     parser.add_argument(
         "paths", nargs="*", type=Path,
@@ -255,6 +281,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--quiet", action="store_true",
         help="suppress the all-clear summary line",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable findings on stdout (for CI "
+             "annotation tooling); the exit code is unchanged",
+    )
     args = parser.parse_args(argv)
 
     paths = args.paths if args.paths else [_default_target()]
@@ -270,12 +301,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     def status_lines() -> List[str]:
         lines: List[str] = []
-        if "par" in families:
+        modules: Optional[List[SourceModule]] = None
+        if "par" in families or "dtype" in families:
             modules, _ = _load_modules([Path(p) for p in paths])
+        if "par" in families and modules is not None:
             lines.extend(par_status_lines(modules))
         if "abi" in families:
             lines.append(_ckernels_status())
+        if "dtype" in families and modules is not None:
+            lines.extend(dtype_status_lines(modules))
         return lines
+
+    if args.json:
+        scanned = len(iter_python_files([Path(p) for p in paths]))
+        report = {
+            "findings": [
+                {**f.as_dict(), "family": _family_of(f.rule)}
+                for f in findings
+            ],
+            "counts": {
+                family: count
+                for family, count in sorted(
+                    _count_by_family(findings).items()
+                )
+            },
+            "families": list(families),
+            "scanned_files": scanned,
+            "status": status_lines(),
+        }
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 1 if findings else 0
 
     if findings:
         print(format_findings(findings))

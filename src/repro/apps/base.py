@@ -222,7 +222,9 @@ def traversal_trace(
     addresses = np.empty(total, dtype=np.int64)
     pcs = np.empty(total, dtype=np.uint8)
     writes = np.zeros(total, dtype=bool)
-    vertices = np.repeat(order, block_len).astype(np.int32)
+    # Vertex IDs are bounded by num_vertices, which the csr.neighbors
+    # width contract keeps below 2^31 (checked at graph build time).
+    vertices = np.repeat(order, block_len).astype(np.int32)  # simlint: allow[dtype-narrowing-cast]
 
     # Offsets-array read at each block start.
     addresses[block_starts] = oa_span.addr_of(order)

@@ -50,7 +50,9 @@ def kcore_reference(
             coreness[peel] = k - 1
             alive &= ~peel
             affected = peel[edge_src] & alive[edge_dst]
-            decrements = np.bincount(edge_dst[affected], minlength=n)
+            decrements = np.bincount(
+                edge_dst[affected], minlength=n
+            ).astype(np.int64, copy=False)
             degree -= decrements
     return coreness, peel_masks
 

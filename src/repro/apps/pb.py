@@ -41,7 +41,9 @@ def binning_reference(
     n = graph.num_vertices
     bin_size = max(1, -(-n // num_bins))
     destinations = graph.neighbors.astype(np.int64)
-    return np.bincount(destinations // bin_size, minlength=num_bins)
+    return np.bincount(
+        destinations // bin_size, minlength=num_bins
+    ).astype(np.int64, copy=False)
 
 
 class PropagationBlockingBinning(GraphApp):
@@ -131,7 +133,7 @@ class PropagationBlockingBinning(GraphApp):
         order = np.argsort(bin_of_edge, kind="stable")
         counts = np.zeros(len(destinations), dtype=np.int64)
         sorted_bins = bin_of_edge[order]
-        within = np.arange(len(order)) - np.searchsorted(
+        within = np.arange(len(order), dtype=np.int64) - np.searchsorted(
             sorted_bins, sorted_bins, side="left"
         )
         counts[order] = within
@@ -148,16 +150,22 @@ class PropagationBlockingBinning(GraphApp):
         pcs = np.empty(total, dtype=np.uint8)
         writes = np.zeros(total, dtype=bool)
         vertices = np.repeat(np.arange(n, dtype=np.int32), block_len)
-        addresses[starts] = oa.addr_of(np.arange(n))
+        addresses[starts] = oa.addr_of(np.arange(n, dtype=np.int64))
         pcs[starts] = AccessKind.OFFSETS
-        addresses[starts + 1] = contrib.addr_of(np.arange(n))
+        addresses[starts + 1] = contrib.addr_of(
+            np.arange(n, dtype=np.int64)
+        )
         pcs[starts + 1] = AccessKind.DENSE_DATA
         if graph.num_edges:
-            within_vertex = np.arange(graph.num_edges) - np.repeat(
+            within_vertex = np.arange(
+                graph.num_edges, dtype=np.int64
+            ) - np.repeat(
                 graph.offsets[:-1], degrees
             )
             base = np.repeat(starts, degrees) + 2 + 2 * within_vertex
-            addresses[base] = na.addr_of(np.arange(graph.num_edges))
+            addresses[base] = na.addr_of(
+                np.arange(graph.num_edges, dtype=np.int64)
+            )
             pcs[base] = AccessKind.NEIGHBORS
             addresses[base + 1] = bins.addr_of(slot)
             pcs[base + 1] = AccessKind.BIN_BUFFER

@@ -70,12 +70,16 @@ def from_edges(
         array = np.unique(array, axis=0)
     sources = array[:, 0]
     destinations = array[:, 1]
-    counts = np.bincount(sources, minlength=num_vertices)
+    counts = np.bincount(sources, minlength=num_vertices).astype(
+        np.int64, copy=False
+    )
     offsets = np.zeros(num_vertices + 1, dtype=np.int64)
     np.cumsum(counts, out=offsets[1:])
     # Sort edges by (src, dst) so neighbor lists come out sorted.
     order = np.lexsort((destinations, sources))
-    neighbors = destinations[order].astype(np.int32)
+    # IDs were validated < num_vertices above, and num_vertices fits the
+    # WIDTH_CONTRACTS["csr.neighbors"] int32 range by construction.
+    neighbors = destinations[order].astype(np.int32)  # simlint: allow[dtype-narrowing-cast]
     return CSRGraph(offsets=offsets, neighbors=neighbors)
 
 
@@ -150,7 +154,9 @@ def from_edges_chunked(
             grown = np.zeros(max(top + 1, 2 * len(counts)), dtype=np.int64)
             grown[: len(counts)] = counts
             counts = grown
-        counts += np.bincount(sources, minlength=len(counts))
+        counts += np.bincount(sources, minlength=len(counts)).astype(
+            np.int64, copy=False
+        )
         total += len(edges)
 
     if num_vertices is None and resolve_num_vertices is not None:
@@ -193,7 +199,9 @@ def from_edges_chunked(
             group_start, group_count
         )
         positions = next_free[sources] + ranks
-        neighbors[positions] = edges[order, 1]
+        # Destination IDs were validated < num_vertices above (both
+        # passes), so they fit the int32 neighbors contract.
+        neighbors[positions] = edges[order, 1]  # simlint: allow[dtype-overflow]
         if payload_out is not None and payload is not None:
             payload_out[positions] = payload[order]
         next_free[uniq] += group_count

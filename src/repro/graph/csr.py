@@ -131,7 +131,9 @@ class CSRGraph:
 
     def _build_transpose(self) -> "CSRGraph":
         n = self.num_vertices
-        counts = np.bincount(self.neighbors, minlength=n)
+        counts = np.bincount(self.neighbors, minlength=n).astype(
+            np.int64, copy=False
+        )
         offsets = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=offsets[1:])
         # Stable sort of edges by destination groups reversed edges in

@@ -189,7 +189,10 @@ def bounded_degree_mesh(
     half = max(1, degree // 2)
     src = np.repeat(np.arange(num_vertices, dtype=np.int64), 2 * half)
     offsets = np.tile(
-        np.concatenate([np.arange(1, half + 1), -np.arange(1, half + 1)]),
+        np.concatenate([
+            np.arange(1, half + 1, dtype=np.int64),
+            -np.arange(1, half + 1, dtype=np.int64),
+        ]),
         num_vertices,
     )
     jitter_mask = rng.random(len(src)) < 0.05

@@ -645,9 +645,14 @@ def load_gap_binary(path: PathLike) -> CSRGraph:
             out_degrees = np.diff(offsets)
             in_degrees = np.diff(in_offsets)
             consistent = np.array_equal(
-                np.bincount(neighbors, minlength=num_vertices), in_degrees
+                np.bincount(neighbors, minlength=num_vertices).astype(
+                    np.int64, copy=False
+                ),
+                in_degrees,
             ) and np.array_equal(
-                np.bincount(in_neighbors, minlength=num_vertices),
+                np.bincount(in_neighbors, minlength=num_vertices).astype(
+                    np.int64, copy=False
+                ),
                 out_degrees,
             )
             if not consistent:

@@ -71,7 +71,9 @@ def dbg_order(graph: CSRGraph, num_groups: int = 8) -> DbgLayout:
     order = np.argsort(group_of, kind="stable")
     new_ids = np.empty(graph.num_vertices, dtype=np.int32)
     new_ids[order] = np.arange(graph.num_vertices, dtype=np.int32)
-    counts = np.bincount(group_of, minlength=num_groups)
+    counts = np.bincount(group_of, minlength=num_groups).astype(
+        np.int64, copy=False
+    )
     bounds = np.zeros(num_groups + 1, dtype=np.int64)
     np.cumsum(counts, out=bounds[1:])
     return DbgLayout(new_ids=new_ids, group_bounds=tuple(int(b) for b in bounds))

@@ -90,7 +90,8 @@ def build_line_reference_csr(
         lines_sorted = lines_sorted[keep]
         outer_sorted = outer_sorted[keep]
     offsets = np.searchsorted(
-        lines_sorted, np.arange(num_lines + 1), side="left"
+        lines_sorted, np.arange(num_lines + 1, dtype=np.int64),
+        side="left",
     ).astype(np.int64)
     return offsets, np.ascontiguousarray(outer_sorted, dtype=np.int64)
 

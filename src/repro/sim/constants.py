@@ -46,6 +46,7 @@ __all__ = [
     "HAWKEYE_COUNTER_MAX",
     "HAWKEYE_COUNTER_INITIAL",
     "C_PARITY",
+    "WIDTH_CONTRACTS",
 ]
 
 
@@ -191,6 +192,80 @@ HAWKEYE_COUNTER_INITIAL = 4
 #: bit-layout constant across the language boundary is a lint error.
 #: (Float-valued constants like :data:`BRRIP_TRICKLE` are passed to C
 #: as arguments, never re-declared there, so they are not listed.)
+# ----------------------------------------------------------------------
+# Declared capacity contracts (simlint ``dtype`` + check_width_contracts)
+# ----------------------------------------------------------------------
+
+#: Every quantized field the simulator stores in a deliberately narrow
+#: dtype, with its declared storage and the width its values must fit.
+#:
+#: Schema (all values statically evaluable — simlint's ``dtype`` family
+#: reads this table without importing the package):
+#:
+#: - ``dtype``   — admissible numpy storage dtypes, narrowest first;
+#: - ``max_bits``— hard ceiling on the *value* width (``check_width_
+#:   contracts`` asserts actual maxima fit; for RM entries the live
+#:   bound is ``entry_bits``, this is its admissible range's top);
+#: - ``binds``   — ``Class.attr`` fields carrying the contract (the
+#:   static ``dtype-overflow`` rule flags unguarded wide stores into
+#:   them by name);
+#: - ``guard``   — where the clamp/validation documented for the field
+#:   lives (the "documented guard" the lint accepts).
+#:
+#: :func:`repro.sim.widthcontracts.check_width_contracts` gives this
+#: table runtime teeth on sanitized runs.
+WIDTH_CONTRACTS: Dict[str, Dict[str, object]] = {
+    "rm.entries": {
+        "dtype": ("uint8", "uint16"),
+        "max_bits": 16,
+        "binds": ("RereferenceMatrix.entries",),
+        "holds": "Algorithm 2 entries: MSB flag | distance/sub-epoch "
+                 "field, entry_bits in [3, 16]",
+        "guard": "np.minimum clamp to rm_sentinel in "
+                 "rereference._encode_entries",
+    },
+    "rm.epoch_index": {
+        "dtype": ("int64",),
+        "max_bits": 16,
+        "holds": "epoch column index: num_epochs <= 2^entry_bits by "
+                 "epoch_geometry construction",
+        "guard": "ceil-division geometry in rereference.epoch_geometry",
+    },
+    "trace.next_use": {
+        "dtype": ("int64",),
+        "max_bits": 30,
+        "holds": "LLC-visible next-use index; must stay below "
+                 "POPT_STREAMING_NEXT_REF so the streaming rank "
+                 "outranks every real distance",
+        "guard": "trace length checked against the sentinel in "
+                 "widthcontracts.check_width_contracts",
+    },
+    "trace.vertex": {
+        "dtype": ("int64",),
+        "max_bits": 40,
+        "holds": "outer-loop vertex ids; must stay below TOPT_NEVER "
+                 "so the never-again sentinel outranks every vertex",
+        "guard": "vertex range checked at graph build "
+                 "(builders.from_edges) and in check_width_contracts",
+    },
+    "csr.offsets": {
+        "dtype": ("int64",),
+        "max_bits": 62,
+        "binds": ("CSRGraph.offsets",),
+        "holds": "CSR row offsets (edge counts)",
+        "guard": "monotonicity asserted in CSRGraph validation",
+    },
+    "csr.neighbors": {
+        "dtype": ("int32",),
+        "max_bits": 31,
+        "binds": ("CSRGraph.neighbors",),
+        "holds": "neighbor vertex ids; vertex count must fit int32",
+        "guard": "vertex-range validation in builders.from_edges / "
+                 "from_edges_chunked before the int32 cast",
+    },
+}
+
+
 C_PARITY: Dict[str, int] = {
     "TOPT_NEVER": TOPT_NEVER,
     "POPT_STREAMING_NEXT_REF": POPT_STREAMING_NEXT_REF,

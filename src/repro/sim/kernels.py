@@ -253,7 +253,9 @@ def replay_bit_plru_stream(
     else:
         set_idx = lines % num_sets
     order = np.argsort(set_idx, kind="stable")
-    counts = np.bincount(set_idx, minlength=num_sets)
+    counts = np.bincount(set_idx, minlength=num_sets).astype(
+        np.int64, copy=False
+    )
     sorted_lines_arr = np.ascontiguousarray(lines[order], dtype=np.int64)
     sorted_writes_arr = np.ascontiguousarray(writes[order], dtype=np.uint8)
 

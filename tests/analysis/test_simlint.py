@@ -535,6 +535,68 @@ class TestRunner:
     def test_run_simlint_clean_on_shipped_tree(self):
         assert run_simlint([SRC_REPRO]) == []
 
+    def test_findings_are_diff_stable(self, tmp_path):
+        """Multi-family output is totally ordered by (path, line, rule,
+        message) and exact duplicates collapse, so re-running with a
+        different family order can never reshuffle a CI diff."""
+        for name, body in (
+            ("b_mod.py", "import time\n\ndef f():\n"
+                         "    return time.time()\n"),
+            ("a_mod.py", "import time, random\n\ndef g():\n"
+                         "    return time.time() + random.random()\n"),
+        ):
+            (tmp_path / name).write_text(body)
+        first = run_simlint([tmp_path])
+        # Scanning the same files twice (overlapping path arguments)
+        # must not duplicate findings.
+        again = run_simlint([tmp_path, tmp_path / "a_mod.py"])
+        assert first == again
+        keys = [(f.path, f.line, f.rule, f.message) for f in first]
+        assert keys == sorted(keys)
+        assert len(keys) == len(set(keys))
+
+    def test_same_site_distinct_messages_survive(self):
+        """Dedup is exact-identity: two findings differing only in
+        message (one abi-signature per mismatched argument) both
+        survive."""
+        from repro.analysis.runner import _stable_findings
+
+        pair = [
+            Finding(rule="r", path="p.py", line=3, message="argument 1"),
+            Finding(rule="r", path="p.py", line=3, message="argument 0"),
+            Finding(rule="r", path="p.py", line=3, message="argument 0"),
+        ]
+        stable = _stable_findings(pair)
+        assert [f.message for f in stable] == ["argument 0", "argument 1"]
+
+    def test_main_json_output(self, tmp_path, capsys):
+        import json
+
+        module = tmp_path / "mod.py"
+        module.write_text("import time\n\ndef f():\n    return time.time()\n")
+        assert main([str(module), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["counts"]["determinism"] >= 1
+        assert report["scanned_files"] == 1
+        (finding,) = [
+            f for f in report["findings"]
+            if f["rule"] == "determinism-time"
+        ]
+        assert finding["family"] == "determinism"
+        assert finding["path"].endswith("mod.py")
+        assert isinstance(finding["line"], int)
+        assert "message" in finding
+
+    def test_main_json_clean_tree_exits_zero(self, tmp_path, capsys):
+        import json
+
+        module = tmp_path / "mod.py"
+        module.write_text("x = 1\n")
+        assert main([str(module), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["findings"] == []
+        assert report["counts"] == {}
+
 
 # ----------------------------------------------------------------------
 # kernels: replay-kernel dispatch coverage and loop hygiene
